@@ -1,0 +1,192 @@
+//! Textual device descriptions, so new machines can be added to the tool
+//! without recompiling (the paper: "additional architectures can be
+//! targeted for synthesis by adding the desired topology coupling map to
+//! the device library of the tool").
+//!
+//! Format (`.device` files):
+//!
+//! ```text
+//! # my lab chip
+//! name labchip
+//! qubits 6
+//! native cnot            # or `cz`; optional, defaults to cnot
+//! coupling 0 1           # directed: control 0, target 1
+//! coupling 1 2 0.015     # optional CNOT error probability
+//! ```
+
+use crate::device::{Device, TwoQubitNative};
+use std::fmt::Write as _;
+
+/// Parses a textual device description.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed directives,
+/// missing `name`/`qubits`, out-of-range couplings, or bad error values.
+pub fn parse_device(src: &str) -> Result<Device, String> {
+    let mut name: Option<String> = None;
+    let mut qubits: Option<usize> = None;
+    let mut native = TwoQubitNative::Cnot;
+    let mut couplings: Vec<(usize, usize)> = Vec::new();
+    let mut errors: Vec<((usize, usize), f64)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("name") => {
+                name = Some(
+                    toks.next()
+                        .ok_or(format!("line {lineno}: missing name value"))?
+                        .to_string(),
+                )
+            }
+            Some("qubits") => {
+                qubits = Some(
+                    toks.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &usize| v >= 1)
+                        .ok_or(format!("line {lineno}: bad qubit count"))?,
+                )
+            }
+            Some("native") => match toks.next() {
+                Some("cnot") | Some("cx") => native = TwoQubitNative::Cnot,
+                Some("cz") => native = TwoQubitNative::Cz,
+                other => return Err(format!("line {lineno}: unknown native gate {other:?}")),
+            },
+            Some("coupling") => {
+                let n = qubits.ok_or(format!("line {lineno}: coupling before qubits"))?;
+                let c: usize = toks
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("line {lineno}: bad control"))?;
+                let t: usize = toks
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("line {lineno}: bad target"))?;
+                if c >= n || t >= n {
+                    return Err(format!("line {lineno}: coupling {c}->{t} out of range"));
+                }
+                if c == t {
+                    return Err(format!("line {lineno}: self-coupling {c}"));
+                }
+                couplings.push((c, t));
+                if let Some(e) = toks.next() {
+                    let e: f64 = e
+                        .parse()
+                        .ok()
+                        .filter(|v| (0.0..1.0).contains(v))
+                        .ok_or(format!("line {lineno}: bad error probability"))?;
+                    errors.push(((c, t), e));
+                }
+            }
+            other => return Err(format!("line {lineno}: unknown directive {other:?}")),
+        }
+    }
+
+    let device = Device::from_pairs(
+        name.ok_or("missing `name`")?,
+        qubits.ok_or("missing `qubits`")?,
+        couplings,
+    )
+    .with_native(native)
+    .with_cnot_errors(errors);
+    Ok(device)
+}
+
+/// Renders a device back into the description format (round-trips through
+/// [`parse_device`]).
+pub fn device_description(device: &Device) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "name {}", device.name());
+    let _ = writeln!(out, "qubits {}", device.n_qubits());
+    let _ = writeln!(
+        out,
+        "native {}",
+        match device.native() {
+            TwoQubitNative::Cnot => "cnot",
+            TwoQubitNative::Cz => "cz",
+        }
+    );
+    for (c, t) in device.couplings() {
+        match device.cnot_error(c, t) {
+            Some(e) => {
+                let _ = writeln!(out, "coupling {c} {t} {e}");
+            }
+            None => {
+                let _ = writeln!(out, "coupling {c} {t}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a toy chip
+name labchip
+qubits 4
+native cz
+coupling 0 1
+coupling 1 2 0.015
+coupling 2 3
+";
+
+    #[test]
+    fn parses_sample() {
+        let d = parse_device(SAMPLE).unwrap();
+        assert_eq!(d.name(), "labchip");
+        assert_eq!(d.n_qubits(), 4);
+        assert_eq!(d.native(), TwoQubitNative::Cz);
+        assert_eq!(d.coupling_count(), 3);
+        assert_eq!(d.cnot_error(1, 2), Some(0.015));
+        assert_eq!(d.cnot_error(0, 1), None);
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = parse_device(SAMPLE).unwrap();
+        let text = device_description(&d);
+        let again = parse_device(&text).unwrap();
+        assert_eq!(d, again);
+    }
+
+    #[test]
+    fn default_native_is_cnot() {
+        let d = parse_device("name x\nqubits 2\ncoupling 0 1\n").unwrap();
+        assert_eq!(d.native(), TwoQubitNative::Cnot);
+    }
+
+    #[test]
+    fn library_devices_round_trip() {
+        for d in crate::devices::all_devices() {
+            let again = parse_device(&device_description(&d)).unwrap();
+            assert_eq!(d, again, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_device("qubits 2\ncoupling 0 1\n").is_err()); // no name
+        assert!(parse_device("name x\ncoupling 0 1\n").is_err()); // coupling first
+        assert!(parse_device("name x\nqubits 2\ncoupling 0 5\n").is_err()); // range
+        assert!(parse_device("name x\nqubits 2\ncoupling 0 0\n").is_err()); // self
+        assert!(parse_device("name x\nqubits 2\ncoupling 0 1 2.0\n").is_err()); // error prob
+        assert!(parse_device("name x\nqubits 2\nnative frob\n").is_err()); // native
+        assert!(parse_device("name x\nqubits 2\nwhatever\n").is_err()); // directive
+        assert!(parse_device("name x\nqubits zero\n").is_err()); // count
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let d = parse_device("# hi\n\nname y\n qubits 2 # two\ncoupling 0 1\n").unwrap();
+        assert_eq!(d.n_qubits(), 2);
+    }
+}

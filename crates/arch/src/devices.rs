@@ -1,0 +1,344 @@
+//! The built-in device library: the five public IBM Q machines of the paper
+//! (Table 2), the unconstrained simulator, and the 96-qubit ibmqx5-inspired
+//! experimental layout (paper Fig. 7).
+//!
+//! Coupling maps are transcribed verbatim from Section 3 of the paper
+//! (which sourced them from the IBM Q backend specifications V1.x, 2018).
+
+use crate::device::Device;
+
+/// `ibmqx2` (Yorktown), 5 qubits, released Jan. 2017.
+pub fn ibmqx2() -> Device {
+    Device::from_coupling_map(
+        "ibmqx2",
+        5,
+        &[(0, &[1, 2]), (1, &[2]), (3, &[2, 4]), (4, &[2])],
+    )
+}
+
+/// `ibmqx3`, 16 qubits, released June 2017 (retired).
+pub fn ibmqx3() -> Device {
+    Device::from_coupling_map(
+        "ibmqx3",
+        16,
+        &[
+            (0, &[1]),
+            (1, &[2]),
+            (2, &[3]),
+            (3, &[14]),
+            (4, &[3, 5]),
+            (6, &[7, 11]),
+            (7, &[10]),
+            (8, &[7]),
+            (9, &[8, 10]),
+            (11, &[10]),
+            (12, &[5, 11, 13]),
+            (13, &[4, 14]),
+            (15, &[0, 14]),
+        ],
+    )
+}
+
+/// `ibmqx4` (Tenerife), 5 qubits, released Sept. 2017.
+pub fn ibmqx4() -> Device {
+    Device::from_coupling_map(
+        "ibmqx4",
+        5,
+        &[(1, &[0]), (2, &[0, 1]), (3, &[2, 4]), (4, &[2])],
+    )
+}
+
+/// `ibmqx5` (Rueschlikon), 16 qubits, released Sept. 2017 (retired).
+pub fn ibmqx5() -> Device {
+    Device::from_coupling_map(
+        "ibmqx5",
+        16,
+        &[
+            (1, &[0, 2]),
+            (2, &[3]),
+            (3, &[4, 14]),
+            (5, &[4]),
+            (6, &[5, 7, 11]),
+            (7, &[10]),
+            (8, &[7]),
+            (9, &[8, 10]),
+            (11, &[10]),
+            (12, &[5, 11, 13]),
+            (13, &[4, 14]),
+            (15, &[0, 2, 14]),
+        ],
+    )
+}
+
+/// `ibmq_16` (Melbourne), 14 qubits, released Sept. 2018.
+pub fn ibmq_16() -> Device {
+    Device::from_coupling_map(
+        "ibmq_16",
+        14,
+        &[
+            (1, &[0, 2]),
+            (2, &[3]),
+            (4, &[3, 10]),
+            (5, &[4, 6, 9]),
+            (6, &[8]),
+            (7, &[8]),
+            (9, &[8, 10]),
+            (11, &[3, 10, 12]),
+            (12, &[2]),
+            (13, &[1, 12]),
+        ],
+    )
+}
+
+/// The proposed 96-qubit transmon machine of paper Fig. 7.
+///
+/// The paper shows the layout only as a figure and describes it as
+/// "inspired by the ibmqx5 machine". This reconstruction stacks six
+/// 16-qubit ibmqx5-style rings (ring `r` occupies qubits `16r .. 16r+15`,
+/// with the ibmqx5 coupling pattern relabeled into the ring) and joins
+/// consecutive rings with three directed rungs at local offsets 2, 7 and 12.
+/// The resulting directed graph is connected, sparse (coupling complexity
+/// of the same order as the 16-qubit IBM machines), and exercises the same
+/// long-distance SWAP routing pressure that drives the paper's Table 8.
+pub fn qc96() -> Device {
+    let ring: &[(usize, &[usize])] = &[
+        (1, &[0, 2]),
+        (2, &[3]),
+        (3, &[4, 14]),
+        (5, &[4]),
+        (6, &[5, 7, 11]),
+        (7, &[10]),
+        (8, &[7]),
+        (9, &[8, 10]),
+        (11, &[10]),
+        (12, &[5, 11, 13]),
+        (13, &[4, 14]),
+        (15, &[0, 2, 14]),
+    ];
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for r in 0..6 {
+        let base = 16 * r;
+        for (c, targets) in ring {
+            for t in *targets {
+                pairs.push((base + c, base + t));
+            }
+        }
+        if r + 1 < 6 {
+            for offset in [2usize, 7, 12] {
+                pairs.push((base + offset, base + 16 + offset));
+            }
+        }
+    }
+    Device::from_pairs("qc96", 96, pairs)
+}
+
+/// The 20-qubit commercial IBM machine the paper mentions in Section 3
+/// ("IBM also has a 20 qubit machine available for commercial use") —
+/// the Tokyo-generation 4x5 lattice with diagonal cross-couplings.
+///
+/// The paper gives no coupling map for it; this reconstruction follows the
+/// published IBM Q20 Tokyo topology (bidirectional grid rows/columns plus
+/// the characteristic diagonal pairs), included so width-20 workloads have
+/// a realistic target.
+pub fn ibmq20() -> Device {
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    // 4 rows x 5 columns, row-major; grid edges both directions.
+    for r in 0..4usize {
+        for c in 0..5usize {
+            let q = r * 5 + c;
+            if c + 1 < 5 {
+                pairs.push((q, q + 1));
+                pairs.push((q + 1, q));
+            }
+            if r + 1 < 4 {
+                pairs.push((q, q + 5));
+                pairs.push((q + 5, q));
+            }
+        }
+    }
+    // Diagonal cross-couplings of the Tokyo lattice.
+    for (a, b) in [(1, 7), (2, 6), (3, 9), (4, 8), (11, 17), (12, 16), (13, 19), (14, 18)] {
+        pairs.push((a, b));
+        pairs.push((b, a));
+    }
+    Device::from_pairs("ibmq20", 20, pairs)
+}
+
+/// A unidirectional line `q0 -> q1 -> ... -> q(n-1)` — the linear
+/// nearest-neighbor (LNN) architecture of the paper's reference \[3\].
+pub fn line(n: usize) -> Device {
+    Device::from_pairs(format!("line{n}"), n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// A unidirectional ring: the line plus a closing `q(n-1) -> q0` edge.
+pub fn ring(n: usize) -> Device {
+    Device::from_pairs(format!("ring{n}"), n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// A star: `q0` drives every other qubit (maximum-degree hub).
+pub fn star(n: usize) -> Device {
+    Device::from_pairs(format!("star{n}"), n, (1..n).map(|t| (0usize, t)))
+}
+
+/// A `rows x cols` grid with rightward and downward couplings — the
+/// 2D-lattice style of most planar transmon proposals.
+pub fn grid(rows: usize, cols: usize) -> Device {
+    let mut pairs = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let q = r * cols + c;
+            if c + 1 < cols {
+                pairs.push((q, q + 1));
+            }
+            if r + 1 < rows {
+                pairs.push((q, q + cols));
+            }
+        }
+    }
+    Device::from_pairs(format!("grid{rows}x{cols}"), rows * cols, pairs)
+}
+
+/// Every physical device of the library, in Table 2 order followed by the
+/// 96-qubit machine.
+pub fn all_devices() -> Vec<Device> {
+    vec![ibmqx2(), ibmqx3(), ibmqx4(), ibmqx5(), ibmq_16(), qc96()]
+}
+
+/// The five IBM devices evaluated in Tables 3-6, in column order.
+pub fn ibm_devices() -> Vec<Device> {
+    vec![ibmqx2(), ibmqx3(), ibmqx4(), ibmqx5(), ibmq_16()]
+}
+
+/// Looks a device up by name (including `"simulator"` at a given size via
+/// `"simulator:<n>"`).
+pub fn device_by_name(name: &str) -> Option<Device> {
+    if let Some(n) = name.strip_prefix("simulator:") {
+        return n.parse().ok().map(Device::simulator);
+    }
+    match name {
+        "ibmqx2" => Some(ibmqx2()),
+        "ibmqx3" => Some(ibmqx3()),
+        "ibmqx4" => Some(ibmqx4()),
+        "ibmqx5" => Some(ibmqx5()),
+        "ibmq_16" => Some(ibmq_16()),
+        "ibmq20" => Some(ibmq20()),
+        "qc96" => Some(qc96()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_qubit_counts() {
+        assert_eq!(ibmqx2().n_qubits(), 5);
+        assert_eq!(ibmqx3().n_qubits(), 16);
+        assert_eq!(ibmqx4().n_qubits(), 5);
+        assert_eq!(ibmqx5().n_qubits(), 16);
+        assert_eq!(ibmq_16().n_qubits(), 14);
+    }
+
+    #[test]
+    fn table2_coupling_complexities_match_paper_exactly() {
+        assert!((ibmqx2().coupling_complexity() - 0.3).abs() < 1e-9);
+        assert!((ibmqx3().coupling_complexity() - 1.0 / 12.0).abs() < 1e-9); // 0.0833...
+        assert!((ibmqx4().coupling_complexity() - 0.3).abs() < 1e-9);
+        assert!((ibmqx5().coupling_complexity() - 22.0 / 240.0).abs() < 1e-9); // 0.091666...
+        assert!((ibmq_16().coupling_complexity() - 18.0 / 182.0).abs() < 1e-9); // 0.098901...
+    }
+
+    #[test]
+    fn all_devices_are_connected() {
+        for d in all_devices() {
+            assert!(d.is_connected(), "{} disconnected", d.name());
+        }
+    }
+
+    #[test]
+    fn fig5_prerequisites_on_ibmqx3() {
+        // q5 and q10 are not adjacent; q11 couples to q10; q12 couples to
+        // both q5 and q11 — the structure behind the paper's CTR example.
+        let d = ibmqx3();
+        assert!(!d.are_adjacent(5, 10));
+        assert!(d.has_coupling(11, 10));
+        assert!(d.has_coupling(12, 5));
+        assert!(d.has_coupling(12, 11));
+    }
+
+    #[test]
+    fn qc96_shape() {
+        let d = qc96();
+        assert_eq!(d.n_qubits(), 96);
+        assert!(d.is_connected());
+        // Six rings of 22 couplings plus 5 * 3 rungs.
+        assert_eq!(d.coupling_count(), 6 * 22 + 5 * 3);
+        assert!(d.coupling_complexity() < 0.02);
+        // Benchmarks target q25/q45/q65/q85, which must exist and couple.
+        assert!(!d.neighbors(25).is_empty());
+        assert!(!d.neighbors(85).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(device_by_name("ibmqx4").unwrap().n_qubits(), 5);
+        assert_eq!(device_by_name("qc96").unwrap().n_qubits(), 96);
+        assert_eq!(device_by_name("simulator:7").unwrap().n_qubits(), 7);
+        assert!(device_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn ibmq20_is_a_dense_20_qubit_lattice() {
+        let d = ibmq20();
+        assert_eq!(d.n_qubits(), 20);
+        assert!(d.is_connected());
+        // Bidirectional: every coupling exists in both orientations.
+        for (c, t) in d.couplings().collect::<Vec<_>>() {
+            assert!(d.has_coupling(t, c), "{c}->{t} not symmetric");
+        }
+        // Denser than the 16-qubit unidirectional machines.
+        assert!(d.coupling_complexity() > ibmqx5().coupling_complexity());
+        // Grid + diagonals: 2*(15 + 16) + 2*8 = 78 directed couplings.
+        assert_eq!(d.coupling_count(), 78);
+    }
+
+    #[test]
+    fn parametric_topologies() {
+        let l = line(5);
+        assert_eq!(l.coupling_count(), 4);
+        assert!(l.is_connected());
+        assert!(l.has_coupling(0, 1) && !l.has_coupling(1, 0));
+
+        let r = ring(5);
+        assert_eq!(r.coupling_count(), 5);
+        assert!(r.has_coupling(4, 0));
+
+        let s = star(5);
+        assert_eq!(s.neighbors(0).len(), 4);
+        assert_eq!(s.neighbors(3), &[0]);
+
+        let g = grid(3, 4);
+        assert_eq!(g.n_qubits(), 12);
+        assert_eq!(g.coupling_count(), 3 * 3 + 2 * 4); // right + down edges
+        assert!(g.is_connected());
+        assert!(g.has_coupling(0, 1) && g.has_coupling(0, 4));
+    }
+
+    #[test]
+    fn topology_complexity_ordering() {
+        // Star and ring of equal size are denser than the line; the
+        // simulator dominates everything.
+        let n = 8;
+        let cl = line(n).coupling_complexity();
+        let cr = ring(n).coupling_complexity();
+        let cs = Device::simulator(n).coupling_complexity();
+        assert!(cl < cr && cr < cs);
+    }
+
+    #[test]
+    fn ibm_devices_order_matches_table_columns() {
+        let names: Vec<String> = ibm_devices().iter().map(|d| d.name().to_string()).collect();
+        assert_eq!(names, ["ibmqx2", "ibmqx3", "ibmqx4", "ibmqx5", "ibmq_16"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Target architecture models for technology-dependent quantum synthesis.
+//!
+//! Provides the [`Device`] coupling-map abstraction (paper Section 3), the
+//! built-in library of IBM Q machines plus the 96-qubit experimental layout
+//! of Fig. 7 ([`devices`]), the coupling-complexity metric of Table 2, and
+//! pluggable quantum [`CostModel`]s with the paper's Eqn. 2 as the default
+//! ([`TransmonCost`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use qsyn_arch::devices;
+//!
+//! // Table 2: ibmqx2 has coupling complexity 0.3.
+//! let d = devices::ibmqx2();
+//! assert!((d.coupling_complexity() - 0.3).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod description;
+mod device;
+pub mod devices;
+
+pub use cost::{CostModel, FidelityCost, TransmonCost, VolumeCost};
+pub use description::{device_description, parse_device};
+pub use device::{Device, TwoQubitNative};

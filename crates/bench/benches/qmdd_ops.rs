@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the QMDD package: gate-diagram construction,
+//! diagram multiplication over growing register widths, and the canonical
+//! equivalence check on structured circuits (paper Section 2.4 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsyn_circuit::Circuit;
+use qsyn_gate::Gate;
+use qsyn_qmdd::Qmdd;
+use std::hint::black_box;
+
+fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.push(Gate::h(0));
+    for q in 1..n {
+        c.push(Gate::cx(q - 1, q));
+    }
+    c
+}
+
+/// A deterministic pseudo-random Clifford+T circuit.
+fn random_circuit(n: usize, len: usize, mut seed: u64) -> Circuit {
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        match next() % 4 {
+            0 => c.push(Gate::h((next() as usize) % n)),
+            1 => c.push(Gate::t((next() as usize) % n)),
+            2 => c.push(Gate::tdg((next() as usize) % n)),
+            _ => {
+                let a = (next() as usize) % n;
+                let b = (next() as usize) % n;
+                if a != b {
+                    c.push(Gate::cx(a, b));
+                }
+            }
+        }
+    }
+    c
+}
+
+fn bench_gate_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmdd_gate_build");
+    group.sample_size(30);
+    for n in [8usize, 32, 96] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pkg = Qmdd::new(n);
+                black_box(pkg.gate(&Gate::mct(vec![0, n / 2, n - 2], n - 1)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmdd_circuit_product");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let circ = random_circuit(n, 120, 0xabcdef1234567890);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circ, |b, circ| {
+            b.iter(|| {
+                let mut pkg = Qmdd::new(circ.n_qubits());
+                black_box(pkg.circuit(circ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qmdd_equivalence");
+    group.sample_size(30);
+    for n in [8usize, 16, 32] {
+        let a = ghz(n);
+        let mut b_ = ghz(n);
+        // Append an identity-summing tail so the circuits differ textually.
+        b_.push(Gate::t(n - 1));
+        b_.push(Gate::tdg(n - 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_), |bch, (a, b_)| {
+            bch.iter(|| black_box(qsyn_qmdd::equivalent(a, b_).equivalent))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_construction, bench_circuit_product, bench_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Run the Table 5-style experiment over a user-supplied directory of
+//! circuit files (`.real`, `.qc`, `.qasm`, `.pla`) — point the harness at
+//! your own benchmark suite.
+//!
+//! ```text
+//! cargo run --release --bin suite -- <dir> [device ...]
+//! ```
+
+use qsyn_arch::{devices, CostModel, TransmonCost};
+use qsyn_circuit::Circuit;
+use qsyn_core::{CompileError, Compiler};
+use std::path::Path;
+
+fn load(path: &Path) -> Result<Circuit, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    let c = match ext {
+        "real" => Circuit::from_real(&src).map_err(|e| e.to_string())?,
+        "qc" => Circuit::from_qc(&src).map_err(|e| e.to_string())?,
+        "pla" => qsyn_esop::parse_pla(&src)?.synthesize(),
+        "qasm" => Circuit::from_qasm(&src).map_err(|e| e.to_string())?,
+        other => return Err(format!("unsupported extension `{other}`")),
+    };
+    Ok(c.with_name(name))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: suite <dir> [device ...]");
+        std::process::exit(2);
+    };
+    let device_names: Vec<String> = args.collect();
+    let devs: Vec<_> = if device_names.is_empty() {
+        devices::ibm_devices()
+    } else {
+        device_names
+            .iter()
+            .map(|n| devices::device_by_name(n).unwrap_or_else(|| panic!("unknown device {n}")))
+            .collect()
+    };
+
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{dir}: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("real" | "qc" | "qasm" | "pla")
+            )
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no circuit files in {dir}");
+        std::process::exit(1);
+    }
+
+    let cost = TransmonCost::default();
+    print!("| circuit | qubits | gates |");
+    for d in &devs {
+        print!(" {} (T/g/cost -> T/g/cost, %dec) |", d.name());
+    }
+    println!();
+    println!("|{}", "---|".repeat(3 + devs.len()));
+
+    for path in &paths {
+        let circuit = match load(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        print!(
+            "| {} | {} | {} |",
+            circuit.name().unwrap_or("?"),
+            circuit.n_qubits(),
+            circuit.len()
+        );
+        for d in &devs {
+            match Compiler::new(d.clone()).compile(&circuit) {
+                Ok(r) => {
+                    let (u, o) = (r.unoptimized.stats(), r.optimized.stats());
+                    assert_eq!(r.verified, Some(true), "verification failed");
+                    print!(
+                        " {}/{}/{:.1} -> {}/{}/{:.1}, {:.1}% |",
+                        u.t_count,
+                        u.volume,
+                        cost.cost(&u),
+                        o.t_count,
+                        o.volume,
+                        cost.cost(&o),
+                        r.percent_cost_decrease(&cost)
+                    );
+                }
+                Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => {
+                    print!(" N/A |");
+                }
+                Err(e) => panic!("{}: {e}", path.display()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Table 3: the "Optimal Single-target Gates" suite
+//! mapped to the five IBM devices, unoptimized and optimized, with the
+//! technology-independent reference forms. Pass `--no-verify` to skip the
+//! built-in QMDD equivalence checks.
+
+use qsyn_bench::report::{render_table3, render_table4, run_table3};
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    println!(
+        "Table 3: single-target gates on IBM devices (verify = {verify})\n"
+    );
+    let rows = run_table3(verify);
+    print!("{}", render_table3(&rows));
+    println!("\nTable 4: percent cost decrease after optimization\n");
+    print!("{}", render_table4(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates paper Table 4: percent cost decrease of the Table 3
+//! mappings after optimization. Pass `--no-verify` to skip QMDD checks.
+
+use qsyn_bench::report::{render_table4, run_table3};
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    println!("Table 4: percent cost decrease (single-target gates)\n");
+    print!("{}", render_table4(&run_table3(verify)));
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Table 5: RevLib Toffoli cascades mapped to the five
+//! IBM devices. Pass `--no-verify` to skip QMDD checks.
+
+use qsyn_bench::report::{render_table5, render_table6, run_table5};
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    println!("Table 5: RevLib Toffoli cascades on IBM devices (verify = {verify})\n");
+    let rows = run_table5(verify);
+    print!("{}", render_table5(&rows));
+    println!("\nTable 6: percent cost decrease after optimization\n");
+    print!("{}", render_table6(&rows));
+}

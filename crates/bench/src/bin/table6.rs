@@ -1,0 +1,10 @@
+//! Regenerates paper Table 6: percent cost decrease of the Table 5
+//! mappings after optimization. Pass `--no-verify` to skip QMDD checks.
+
+use qsyn_bench::report::{render_table6, run_table5};
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    println!("Table 6: percent cost decrease (RevLib cascades)\n");
+    print!("{}", render_table6(&run_table5(verify)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates paper Table 7: the 96-qubit benchmark definitions
+//! (T6_b .. T10_b control and target lists). Exact reproduction.
+
+use qsyn_bench::report::render_table7;
+
+fn main() {
+    println!("Table 7: 96-qubit QC benchmark details\n");
+    print!("{}", render_table7());
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table 8: the Table 7 benchmarks compiled for the
+//! 96-qubit Fig. 7 machine, unoptimized and optimized, with percent cost
+//! decrease and QMDD verification. Pass `--no-verify` to skip the (wide)
+//! miter equivalence checks.
+
+use qsyn_bench::report::{render_table8, run_table8};
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    println!("Table 8: 96-qubit QC benchmark compilation results (verify = {verify})\n");
+    print!("{}", render_table8(&run_table8(verify)));
+}

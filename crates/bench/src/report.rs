@@ -1,0 +1,503 @@
+//! Experiment harness: runs the paper's evaluation and renders each table.
+//!
+//! Every table/figure of the paper's Section 5 has a `run_*` function that
+//! returns structured data and a `render_*` function that prints the same
+//! rows the paper reports (plus the paper's own numbers for comparison).
+//! The `table2` .. `table8` binaries and the `experiments` binary are thin
+//! wrappers over this module, so EXPERIMENTS.md can be regenerated with
+//! `cargo run --bin experiments`.
+
+use crate::big::{BigBenchmark, BIG_BENCHMARKS};
+use crate::revlib::{RevlibBenchmark, REVLIB_BENCHMARKS};
+use crate::stg::{StgFunction, STG_FUNCTIONS};
+use qsyn_arch::{devices, CostModel, Device, TransmonCost};
+use qsyn_circuit::Circuit;
+use qsyn_core::{CompileError, Compiler, Verification};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Metrics of one mapping: the `(T-count / gates / cost)` triples the
+/// paper's tables use, before and after optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingMetrics {
+    /// Unoptimized (T-count, gate count, Eqn. 2 cost).
+    pub unopt: (usize, usize, f64),
+    /// Optimized (T-count, gate count, Eqn. 2 cost).
+    pub opt: (usize, usize, f64),
+    /// Percent cost decrease from optimization (Tables 4/6/8).
+    pub pct_decrease: f64,
+    /// Whether the built-in QMDD equivalence check passed.
+    pub verified: bool,
+    /// Synthesis wall time in seconds (including verification).
+    pub seconds: f64,
+}
+
+/// One benchmark-on-device cell; `None` is the paper's `N/A`.
+pub type Cell = Option<MappingMetrics>;
+
+/// Compiles a circuit for a device and extracts the table metrics.
+///
+/// Returns `None` for the paper's `N/A` conditions (circuit too wide, or a
+/// generalized Toffoli with no borrowable line).
+///
+/// # Panics
+///
+/// Panics if compilation fails for any *other* reason, or if the built-in
+/// verification rejects the output — both would be compiler defects, which
+/// the experiment harness surfaces loudly rather than tabulating.
+pub fn map_benchmark(circuit: &Circuit, device: &Device, verify: bool) -> Cell {
+    let cost = TransmonCost::default();
+    let compiler = Compiler::new(device.clone()).with_verification(if verify {
+        Verification::Auto
+    } else {
+        Verification::None
+    });
+    let start = Instant::now();
+    match compiler.compile(circuit) {
+        Ok(r) => {
+            let su = r.unoptimized_stats();
+            let so = r.optimized_stats();
+            Some(MappingMetrics {
+                unopt: (su.t_count, su.volume, cost.cost(&su)),
+                opt: (so.t_count, so.volume, cost.cost(&so)),
+                pct_decrease: r.percent_cost_decrease(&cost),
+                verified: r.verified.unwrap_or(false),
+                seconds: start.elapsed().as_secs_f64(),
+            })
+        }
+        Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => None,
+        Err(e) => panic!("unexpected failure mapping {:?}: {e}", circuit.name()),
+    }
+}
+
+/// Technology-independent reference form of a benchmark: mapped to an
+/// unconstrained simulator twice as wide as the circuit (so every
+/// generalized Toffoli gets a full dirty-ancilla chain, as it would on a
+/// larger device), then optimized. T-counts therefore agree with the
+/// device mappings, which never change T-count during routing.
+pub fn tech_independent_metrics(circuit: &Circuit) -> (usize, usize, f64) {
+    let cost = TransmonCost::default();
+    let sim = Device::simulator(circuit.n_qubits() * 2);
+    let r = Compiler::new(sim)
+        .with_verification(Verification::Canonical)
+        .compile(circuit)
+        .expect("simulator mapping cannot fail");
+    assert_eq!(r.verified, Some(true));
+    let s = r.optimized_stats();
+    (s.t_count, s.volume, cost.cost(&s))
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// One Table 2 row: device data plus the paper's reported complexity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Device name.
+    pub name: String,
+    /// Qubit count.
+    pub qubits: usize,
+    /// Coupling complexity computed from the map.
+    pub complexity: f64,
+    /// The value printed in paper Table 2.
+    pub paper_complexity: f64,
+}
+
+/// Computes Table 2 (device coupling complexities). Exact reproduction.
+pub fn run_table2() -> Vec<Table2Row> {
+    let paper = [
+        ("ibmqx2", 0.3),
+        ("ibmqx3", 1.0 / 12.0),
+        ("ibmqx4", 0.3),
+        ("ibmqx5", 22.0 / 240.0),
+        ("ibmq_16", 18.0 / 182.0),
+    ];
+    devices::ibm_devices()
+        .into_iter()
+        .zip(paper)
+        .map(|(d, (name, pc))| {
+            assert_eq!(d.name(), name);
+            Table2Row {
+                name: d.name().to_string(),
+                qubits: d.n_qubits(),
+                complexity: d.coupling_complexity(),
+                paper_complexity: pc,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2 as markdown.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| Device | Qubits | Coupling complexity (measured) | Paper |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.6} | {:.6} |",
+            r.name, r.qubits, r.complexity, r.paper_complexity
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tables 3 and 4
+// ---------------------------------------------------------------------------
+
+/// One Table 3 row: a single-target-gate function mapped to every device.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The benchmark function.
+    pub function: StgFunction,
+    /// Our technology-independent (T, gates, cost).
+    pub tech_independent: (usize, usize, f64),
+    /// One cell per device, in [`devices::ibm_devices`] order.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the Table 3 / Table 4 experiment over the whole suite.
+pub fn run_table3(verify: bool) -> Vec<Table3Row> {
+    let devs = devices::ibm_devices();
+    STG_FUNCTIONS
+        .iter()
+        .map(|f| {
+            let cascade = f.cascade();
+            Table3Row {
+                function: *f,
+                tech_independent: tech_independent_metrics(&cascade),
+                cells: devs
+                    .iter()
+                    .map(|d| map_benchmark(&cascade, d, verify))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Per-device average percent cost decrease (the paper's Table 4 bottom
+/// row) over the rows that synthesized.
+pub fn average_pct_per_device(rows: &[&[Cell]], n_devices: usize) -> Vec<f64> {
+    (0..n_devices)
+        .map(|d| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|cells| cells[d].map(|m| m.pct_decrease))
+                .collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+fn fmt_cell(c: &Cell) -> String {
+    match c {
+        Some(m) => format!(
+            "{}/{}/{:.2} -> {}/{}/{:.2}",
+            m.unopt.0, m.unopt.1, m.unopt.2, m.opt.0, m.opt.1, m.opt.2
+        ),
+        None => "N/A".to_string(),
+    }
+}
+
+fn device_names() -> Vec<String> {
+    devices::ibm_devices()
+        .iter()
+        .map(|d| d.name().to_string())
+        .collect()
+}
+
+/// Renders a Table 4/6-style percent-decrease table for any row set.
+fn render_pct_table(
+    names: &[String],
+    cells: &[&[Cell]],
+    paper_avg: &[f64; 5],
+) -> String {
+    let dev_names = device_names();
+    let mut out = String::new();
+    let _ = writeln!(out, "| Ftn. | {} |", dev_names.join(" | "));
+    let _ = writeln!(out, "|{}", "---|".repeat(1 + dev_names.len()));
+    for (name, row) in names.iter().zip(cells) {
+        let pcts: Vec<String> = row
+            .iter()
+            .map(|c| match c {
+                Some(m) => format!("{:.2}", m.pct_decrease),
+                None => "N/A".into(),
+            })
+            .collect();
+        let _ = writeln!(out, "| {} | {} |", name, pcts.join(" | "));
+    }
+    let avg = average_pct_per_device(cells, dev_names.len());
+    let _ = writeln!(
+        out,
+        "| Average (ours) | {} |",
+        avg.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(" | ")
+    );
+    let _ = writeln!(
+        out,
+        "| Average (paper) | {} |",
+        paper_avg.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(" | ")
+    );
+    out
+}
+
+/// Renders Table 3 (mappings) as markdown.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let dev_names = device_names();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Ftn. | Qubits | Tech-ind. ours (T/g/cost) | Tech-ind. paper | {} |",
+        dev_names.join(" | ")
+    );
+    let _ = writeln!(out, "|{}", "---|".repeat(4 + dev_names.len()));
+    for r in rows {
+        let cells: Vec<String> = r.cells.iter().map(fmt_cell).collect();
+        let _ = writeln!(
+            out,
+            "| #{} | {} | {}/{}/{:.2} | {}/{}/{:.2} | {} |",
+            r.function.id,
+            r.function.qubits,
+            r.tech_independent.0,
+            r.tech_independent.1,
+            r.tech_independent.2,
+            r.function.paper_t,
+            r.function.paper_gates,
+            r.function.paper_cost,
+            cells.join(" | ")
+        );
+    }
+    out
+}
+
+/// Renders Table 4 (percent cost decrease of the Table 3 mappings).
+pub fn render_table4(rows: &[Table3Row]) -> String {
+    let names: Vec<String> = rows.iter().map(|r| format!("#{}", r.function.id)).collect();
+    let cells: Vec<&[Cell]> = rows.iter().map(|r| r.cells.as_slice()).collect();
+    render_pct_table(&names, &cells, &[5.85, 7.65, 4.92, 8.04, 8.48])
+}
+
+// ---------------------------------------------------------------------------
+// Tables 5 and 6
+// ---------------------------------------------------------------------------
+
+/// One Table 5 row: a RevLib cascade mapped to every device.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// The benchmark.
+    pub benchmark: RevlibBenchmark,
+    /// One cell per device, in [`devices::ibm_devices`] order.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the Table 5 / Table 6 experiment.
+pub fn run_table5(verify: bool) -> Vec<Table5Row> {
+    let devs = devices::ibm_devices();
+    REVLIB_BENCHMARKS
+        .iter()
+        .map(|b| Table5Row {
+            benchmark: *b,
+            cells: devs
+                .iter()
+                .map(|d| map_benchmark(&b.circuit(), d, verify))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders Table 5 (mappings) as markdown.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let dev_names = device_names();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Ftn. | Qubits | Largest | Gates | Paper T | {} |",
+        dev_names.join(" | ")
+    );
+    let _ = writeln!(out, "|{}", "---|".repeat(5 + dev_names.len()));
+    for r in rows {
+        let cells: Vec<String> = r.cells.iter().map(fmt_cell).collect();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            r.benchmark.name,
+            r.benchmark.qubits,
+            r.benchmark.largest_gate,
+            r.benchmark.gate_count,
+            r.benchmark.paper_t,
+            cells.join(" | ")
+        );
+    }
+    out
+}
+
+/// Renders Table 6 (percent cost decrease of the Table 5 mappings).
+pub fn render_table6(rows: &[Table5Row]) -> String {
+    let names: Vec<String> = rows.iter().map(|r| r.benchmark.name.to_string()).collect();
+    let cells: Vec<&[Cell]> = rows.iter().map(|r| r.cells.as_slice()).collect();
+    render_pct_table(&names, &cells, &[5.48, 29.56, 6.40, 26.51, 19.08])
+}
+
+// ---------------------------------------------------------------------------
+// Tables 7 and 8
+// ---------------------------------------------------------------------------
+
+/// One Table 8 row: a Table 7 benchmark compiled for the 96-qubit machine.
+#[derive(Debug, Clone)]
+pub struct Table8Row {
+    /// The benchmark.
+    pub benchmark: BigBenchmark,
+    /// Compilation metrics (always succeeds on the 96-qubit machine).
+    pub metrics: MappingMetrics,
+}
+
+/// Runs the Table 8 experiment on the Fig. 7 machine.
+pub fn run_table8(verify: bool) -> Vec<Table8Row> {
+    let d = devices::qc96();
+    BIG_BENCHMARKS
+        .iter()
+        .map(|b| Table8Row {
+            benchmark: *b,
+            metrics: map_benchmark(&b.circuit(), &d, verify)
+                .expect("qc96 hosts every Table 7 benchmark"),
+        })
+        .collect()
+}
+
+/// Renders Table 7 (benchmark contents) as markdown.
+pub fn render_table7() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| Name | Gate | Controls | Target |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for b in BIG_BENCHMARKS {
+        for (k, g) in b.circuit().gates().iter().enumerate() {
+            if let qsyn_gate::Gate::Mct { controls, target } = g {
+                let ctl: Vec<String> = controls.iter().map(|q| format!("q{q}")).collect();
+                let _ = writeln!(
+                    out,
+                    "| {} | {}: T{} | {} | q{} |",
+                    if k == 0 { b.name } else { "" },
+                    k + 1,
+                    b.gate_size,
+                    ctl.join(", "),
+                    target
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders Table 8 as markdown, paper values side by side.
+pub fn render_table8(rows: &[Table8Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Name | Unopt ours (T/g/cost) | Unopt paper | Opt ours | Opt paper | % dec ours | % dec paper | verified | seconds |"
+    );
+    let _ = writeln!(out, "|{}", "---|".repeat(9));
+    let mut pct_sum = 0.0;
+    for r in rows {
+        let m = &r.metrics;
+        let b = &r.benchmark;
+        pct_sum += m.pct_decrease;
+        let _ = writeln!(
+            out,
+            "| {} | {}/{}/{:.0} | {}/{}/{:.0} | {}/{}/{:.0} | {}/{}/{:.0} | {:.2} | {:.2} | {} | {:.2} |",
+            b.name,
+            m.unopt.0, m.unopt.1, m.unopt.2,
+            b.paper_unopt.0, b.paper_unopt.1, b.paper_unopt.2,
+            m.opt.0, m.opt.1, m.opt.2,
+            b.paper_opt.0, b.paper_opt.1, b.paper_opt.2,
+            m.pct_decrease,
+            b.paper_pct,
+            m.verified,
+            m.seconds
+        );
+    }
+    let _ = writeln!(
+        out,
+        "| Average | | | | | {:.2} | 39.54 | | |",
+        pct_sum / rows.len() as f64
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revlib::R3_17_14;
+
+    #[test]
+    fn table2_is_exact() {
+        for row in run_table2() {
+            assert!(
+                (row.complexity - row.paper_complexity).abs() < 1e-9,
+                "{}",
+                row.name
+            );
+        }
+        let text = render_table2(&run_table2());
+        assert!(text.contains("ibmqx2"));
+        assert!(text.contains("0.3"));
+    }
+
+    #[test]
+    fn map_benchmark_reports_metrics() {
+        let d = devices::ibmqx4();
+        let m = map_benchmark(&R3_17_14.circuit(), &d, true).unwrap();
+        assert!(m.verified);
+        assert!(m.unopt.2 >= m.opt.2, "optimization never raises cost");
+        assert_eq!(m.unopt.0, 14, "two Toffolis = 14 T");
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn map_benchmark_returns_none_for_na() {
+        let d = devices::ibmqx2();
+        let mut too_wide = Circuit::new(6);
+        too_wide.push(qsyn_gate::Gate::x(5));
+        assert!(map_benchmark(&too_wide, &d, false).is_none());
+    }
+
+    #[test]
+    fn tech_independent_small_function() {
+        let f = crate::stg::stg_by_id("3").unwrap();
+        let (t, g, cost) = tech_independent_metrics(&f.cascade());
+        // #3 is the linear function x0: no T gates at all.
+        assert_eq!(t, 0);
+        assert!(g <= 3);
+        assert!(cost <= 4.0);
+    }
+
+    #[test]
+    fn average_pct_ignores_na() {
+        let cells: Vec<Cell> = vec![
+            Some(MappingMetrics {
+                unopt: (0, 0, 10.0),
+                opt: (0, 0, 5.0),
+                pct_decrease: 50.0,
+                verified: true,
+                seconds: 0.0,
+            }),
+            None,
+        ];
+        let rows: Vec<&[Cell]> = vec![&cells];
+        let avg = average_pct_per_device(&rows, 2);
+        assert_eq!(avg, vec![50.0, 0.0]);
+    }
+
+    #[test]
+    fn render_table7_lists_all_twenty_gates() {
+        let text = render_table7();
+        // 2 header lines + 20 gate rows (4 per benchmark, 5 benchmarks).
+        assert_eq!(text.lines().count(), 22);
+        assert!(text.contains("T6_b"));
+        assert!(text.contains("q85"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Parse errors for the circuit front-ends.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a circuit source file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    line: usize,
+    message: String,
+}
+
+impl ParseCircuitError {
+    /// Creates an error at a 1-based source line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseCircuitError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line the error was detected on (0 when unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl Error for ParseCircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseCircuitError::new(7, "unknown gate `frob`");
+        assert_eq!(e.to_string(), "line 7: unknown gate `frob`");
+        assert_eq!(e.line(), 7);
+        assert_eq!(e.message(), "unknown gate `frob`");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseCircuitError::new(0, "empty input");
+        assert_eq!(e.to_string(), "empty input");
+    }
+}

@@ -1,0 +1,271 @@
+//! The `.qc` circuit format used by the "Optimal single-target gates"
+//! benchmark suite and related quantum circuit collections.
+//!
+//! Grammar subset:
+//!
+//! ```text
+//! .v a b c        variable (line) declaration, in top-to-bottom order
+//! .i a b          input lines (informational)
+//! .o c            output lines (informational)
+//! BEGIN
+//! H a             one-qubit gates: X, Y, Z, H, S, S*, T, T*
+//! tof a b         two operands: CNOT with control a, target b
+//! tof a b c       three or more: (generalized) Toffoli, last operand target
+//! cnot a b        alias for two-operand tof
+//! swap a b        SWAP
+//! END
+//! ```
+
+use crate::circuit::Circuit;
+use crate::error::ParseCircuitError;
+use qsyn_gate::{Gate, SingleOp};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses `.qc` source into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseCircuitError`] on unknown mnemonics, undeclared
+/// variables, or missing `.v` declarations.
+pub fn parse_qc(src: &str) -> Result<Circuit, ParseCircuitError> {
+    let mut vars: HashMap<String, usize> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut in_body = false;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().expect("non-empty line");
+        let rest: Vec<&str> = toks.collect();
+        match head {
+            ".v" => {
+                for v in rest {
+                    if vars.insert(v.to_string(), order.len()).is_some() {
+                        return Err(ParseCircuitError::new(
+                            lineno,
+                            format!("duplicate variable `{v}`"),
+                        ));
+                    }
+                    order.push(v.to_string());
+                }
+            }
+            ".i" | ".o" | ".c" | ".ol" => {}
+            "BEGIN" | "begin" => in_body = true,
+            "END" | "end" => in_body = false,
+            mnemonic => {
+                if !in_body && !mnemonic.starts_with('.') {
+                    // Tolerate files without BEGIN/END markers.
+                }
+                let args: Vec<usize> = rest
+                    .iter()
+                    .map(|v| {
+                        vars.get(*v).copied().ok_or_else(|| {
+                            ParseCircuitError::new(lineno, format!("unknown variable `{v}`"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                gates.push(qc_gate(mnemonic, args, lineno)?);
+            }
+        }
+    }
+    if order.is_empty() {
+        return Err(ParseCircuitError::new(0, "missing .v declaration"));
+    }
+    Ok(Circuit::from_gates(order.len(), gates))
+}
+
+fn qc_gate(mnemonic: &str, args: Vec<usize>, lineno: usize) -> Result<Gate, ParseCircuitError> {
+    let need = |n: usize| -> Result<(), ParseCircuitError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(ParseCircuitError::new(
+                lineno,
+                format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
+            ))
+        }
+    };
+    let single = |op: SingleOp, args: &[usize]| -> Result<Gate, ParseCircuitError> {
+        if args.len() != 1 {
+            return Err(ParseCircuitError::new(
+                lineno,
+                format!("one-qubit gate expects 1 operand, got {}", args.len()),
+            ));
+        }
+        Ok(Gate::single(op, args[0]))
+    };
+    match mnemonic {
+        "X" | "x" | "NOT" | "not" => single(SingleOp::X, &args),
+        "Y" | "y" => single(SingleOp::Y, &args),
+        "Z" | "z" => single(SingleOp::Z, &args),
+        "H" | "h" => single(SingleOp::H, &args),
+        "S" | "s" | "P" => single(SingleOp::S, &args),
+        "S*" | "s*" | "P*" => single(SingleOp::Sdg, &args),
+        "T" | "t" => single(SingleOp::T, &args),
+        "T*" | "t*" => single(SingleOp::Tdg, &args),
+        "cnot" | "CNOT" => {
+            need(2)?;
+            Ok(Gate::cx(args[0], args[1]))
+        }
+        "swap" | "SWAP" => {
+            need(2)?;
+            Ok(Gate::swap(args[0], args[1]))
+        }
+        "cz" | "CZ" => {
+            need(2)?;
+            Ok(Gate::cz(args[0], args[1]))
+        }
+        "tof" | "Tof" | "TOF" | "ccx" => match args.len() {
+            0 => Err(ParseCircuitError::new(lineno, "`tof` needs operands")),
+            1 => Ok(Gate::x(args[0])),
+            _ => {
+                let target = *args.last().expect("nonempty");
+                let controls = args[..args.len() - 1].to_vec();
+                Ok(Gate::mct(controls, target))
+            }
+        },
+        other => Err(ParseCircuitError::new(
+            lineno,
+            format!("unknown gate `{other}`"),
+        )),
+    }
+}
+
+/// Renders a circuit in `.qc` format, naming lines `q0, q1, ...`.
+pub fn to_qc(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = (0..circuit.n_qubits()).map(|i| format!("q{i}")).collect();
+    let _ = writeln!(out, ".v {}", names.join(" "));
+    let _ = writeln!(out, "BEGIN");
+    for g in circuit.gates() {
+        match g {
+            Gate::Single { op, qubit } => {
+                let name = match op {
+                    SingleOp::X => "X",
+                    SingleOp::Y => "Y",
+                    SingleOp::Z => "Z",
+                    SingleOp::H => "H",
+                    SingleOp::S => "S",
+                    SingleOp::Sdg => "S*",
+                    SingleOp::T => "T",
+                    SingleOp::Tdg => "T*",
+                };
+                let _ = writeln!(out, "{name} {}", names[*qubit]);
+            }
+            Gate::Cx { control, target } => {
+                let _ = writeln!(out, "tof {} {}", names[*control], names[*target]);
+            }
+            Gate::Cz { control, target } => {
+                let _ = writeln!(out, "cz {} {}", names[*control], names[*target]);
+            }
+            Gate::Swap { a, b } => {
+                let _ = writeln!(out, "swap {} {}", names[*a], names[*b]);
+            }
+            Gate::Mct { controls, target } => {
+                let ctl: Vec<&str> = controls.iter().map(|&c| names[c].as_str()).collect();
+                let _ = writeln!(out, "tof {} {}", ctl.join(" "), names[*target]);
+            }
+        }
+    }
+    let _ = writeln!(out, "END");
+    out
+}
+
+impl Circuit {
+    /// Parses `.qc` source; see [`parse_qc`].
+    ///
+    /// # Errors
+    ///
+    /// See [`parse_qc`].
+    pub fn from_qc(src: &str) -> Result<Circuit, ParseCircuitError> {
+        parse_qc(src)
+    }
+
+    /// Renders this circuit in `.qc` format; see [`to_qc`].
+    pub fn to_qc(&self) -> String {
+        to_qc(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_target_gate_style_file() {
+        let src = "\
+.v a b c
+.i a b
+.o c
+BEGIN
+H c
+T a
+T* b
+tof a b c
+tof a c
+X b
+END
+";
+        let c = Circuit::from_qc(src).unwrap();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.gates()[0], Gate::h(2));
+        assert_eq!(c.gates()[3], Gate::toffoli(0, 1, 2));
+        assert_eq!(c.gates()[4], Gate::cx(0, 2));
+    }
+
+    #[test]
+    fn tof_arity_dispatch() {
+        let src = ".v a b c d\nBEGIN\ntof a\ntof a b\ntof a b c\ntof a b c d\nEND\n";
+        let c = Circuit::from_qc(src).unwrap();
+        assert_eq!(c.gates()[0], Gate::x(0));
+        assert_eq!(c.gates()[1], Gate::cx(0, 1));
+        assert_eq!(c.gates()[2], Gate::toffoli(0, 1, 2));
+        assert_eq!(c.gates()[3], Gate::mct(vec![0, 1, 2], 3));
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = ".v a b c\nBEGIN\nH a\nS* b\ntof a b c\nswap a c\nEND\n";
+        let c = Circuit::from_qc(src).unwrap();
+        let again = Circuit::from_qc(&c.to_qc()).unwrap();
+        assert_eq!(c.gates(), again.gates());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "# header\n.v a b\n\nBEGIN\ntof a b # cnot\nEND\n";
+        let c = Circuit::from_qc(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let src = ".v a\nBEGIN\nX z\nEND\n";
+        let err = Circuit::from_qc(src).unwrap_err();
+        assert!(err.to_string().contains("unknown variable"));
+    }
+
+    #[test]
+    fn unknown_gate_is_error() {
+        let src = ".v a\nBEGIN\nfrob a\nEND\n";
+        assert!(Circuit::from_qc(src).is_err());
+    }
+
+    #[test]
+    fn duplicate_variable_is_error() {
+        let src = ".v a a\n";
+        assert!(Circuit::from_qc(src).is_err());
+    }
+
+    #[test]
+    fn missing_variables_is_error() {
+        assert!(Circuit::from_qc("BEGIN\nEND\n").is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Gate statistics consumed by quantum cost models (paper Eqn. 2).
+
+use crate::circuit::Circuit;
+use qsyn_gate::Gate;
+use std::fmt;
+
+/// Aggregate gate counts of a circuit.
+///
+/// The paper's quantum cost function (Eqn. 2) is
+/// `q_cost = 0.5 * t + 0.25 * c + a`, where `t` is [`t_count`],
+/// `c` is [`cnot_count`] and `a` is [`volume`].
+///
+/// [`t_count`]: CircuitStats::t_count
+/// [`cnot_count`]: CircuitStats::cnot_count
+/// [`volume`]: CircuitStats::volume
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Count of T and T† gates.
+    pub t_count: usize,
+    /// Count of CNOT gates.
+    pub cnot_count: usize,
+    /// Total gate count ("gate volume").
+    pub volume: usize,
+    /// Count of one-qubit gates other than T/T†.
+    pub other_single_count: usize,
+    /// Count of technology-independent multi-qubit gates still present
+    /// (CZ, SWAP, Toffoli, generalized Toffoli).
+    pub unmapped_multi_count: usize,
+    /// Largest control count among MCT gates (0 when none).
+    pub max_mct_controls: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut s = CircuitStats::default();
+        for g in circuit.gates() {
+            s.volume += 1;
+            match g {
+                Gate::Single { .. } if g.is_t_like() => s.t_count += 1,
+                Gate::Single { .. } => s.other_single_count += 1,
+                Gate::Cx { .. } => s.cnot_count += 1,
+                Gate::Mct { controls, .. } => {
+                    s.unmapped_multi_count += 1;
+                    s.max_mct_controls = s.max_mct_controls.max(controls.len());
+                }
+                _ => s.unmapped_multi_count += 1,
+            }
+        }
+        s
+    }
+}
+
+/// A histogram of gate kinds by display mnemonic (`"H"`, `"CNOT"`,
+/// `"T3"`, ...), for reporting tools.
+pub fn gate_histogram(circuit: &Circuit) -> std::collections::BTreeMap<String, usize> {
+    let mut hist = std::collections::BTreeMap::new();
+    for g in circuit.gates() {
+        let key = match g {
+            Gate::Single { op, .. } => op.to_string(),
+            Gate::Cx { .. } => "CNOT".to_string(),
+            Gate::Cz { .. } => "CZ".to_string(),
+            Gate::Swap { .. } => "SWAP".to_string(),
+            Gate::Mct { controls, .. } => format!("T{}", controls.len() + 1),
+        };
+        *hist.entry(key).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Circuit depth: the length of the critical path when gates on disjoint
+/// lines execute in parallel.
+pub fn depth(circuit: &Circuit) -> usize {
+    depth_by(circuit, |_| true)
+}
+
+/// T-depth: the number of parallel layers containing at least one T or T†
+/// gate on the critical path — the fault-tolerance latency metric the
+/// paper's reference \[10\] (Amy et al.) optimizes.
+pub fn t_depth(circuit: &Circuit) -> usize {
+    depth_by(circuit, Gate::is_t_like)
+}
+
+/// Generic layered depth: each gate lands on layer
+/// `1 + max(layer of its lines)` and `counts` decides whether a layer
+/// transition is charged for that gate.
+fn depth_by(circuit: &Circuit, counts: impl Fn(&Gate) -> bool) -> usize {
+    let mut line_layer = vec![0usize; circuit.n_qubits()];
+    let mut max_layer = 0usize;
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        let base = qs.iter().map(|&q| line_layer[q]).max().unwrap_or(0);
+        let layer = if counts(g) { base + 1 } else { base };
+        for q in qs {
+            line_layer[q] = layer;
+        }
+        max_layer = max_layer.max(layer);
+    }
+    max_layer
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T={} CNOT={} volume={}",
+            self.t_count, self.cnot_count, self.volume
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_gate::SingleOp;
+
+    #[test]
+    fn counts_each_category() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::t(0));
+        c.push(Gate::tdg(1));
+        c.push(Gate::h(0));
+        c.push(Gate::single(SingleOp::Sdg, 2));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::cx(2, 3));
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::mct(vec![0, 1, 2], 3));
+        let s = c.stats();
+        assert_eq!(s.t_count, 2);
+        assert_eq!(s.cnot_count, 3);
+        assert_eq!(s.other_single_count, 2);
+        assert_eq!(s.unmapped_multi_count, 2);
+        assert_eq!(s.max_mct_controls, 3);
+        assert_eq!(s.volume, 9);
+    }
+
+    #[test]
+    fn empty_circuit_is_all_zero() {
+        let s = Circuit::new(3).stats();
+        assert_eq!(s, CircuitStats::default());
+    }
+
+    #[test]
+    fn display_mentions_t_and_cnot() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::t(0));
+        c.push(Gate::cx(0, 1));
+        let text = c.stats().to_string();
+        assert!(text.contains("T=1"));
+        assert!(text.contains("CNOT=1"));
+        assert!(text.contains("volume=2"));
+    }
+
+    #[test]
+    fn histogram_counts_by_mnemonic() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        c.push(Gate::t(2));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::mct(vec![0, 1, 2], 3));
+        let h = gate_histogram(&c);
+        assert_eq!(h["H"], 2);
+        assert_eq!(h["T"], 1);
+        assert_eq!(h["CNOT"], 1);
+        assert_eq!(h["T3"], 1);
+        assert_eq!(h["T4"], 1);
+        assert_eq!(h.values().sum::<usize>(), c.len());
+    }
+
+    #[test]
+    fn depth_of_serial_and_parallel_gates() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::h(1)); // parallel with the first
+        c.push(Gate::cx(0, 1)); // depends on both
+        c.push(Gate::h(2)); // parallel with everything
+        assert_eq!(depth(&c), 2);
+        assert_eq!(depth(&Circuit::new(3)), 0);
+    }
+
+    #[test]
+    fn t_depth_counts_only_t_layers() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::t(0));
+        c.push(Gate::t(1)); // same T layer
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::t(1)); // second T layer, behind the CNOT
+        assert_eq!(t_depth(&c), 2);
+        assert_eq!(depth(&c), 3);
+    }
+
+    #[test]
+    fn t_depth_sees_dependencies_through_clifford_gates() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::t(0));
+        c.push(Gate::h(0));
+        c.push(Gate::t(0));
+        assert_eq!(t_depth(&c), 2);
+        let mut parallel = Circuit::new(2);
+        parallel.push(Gate::t(0));
+        parallel.push(Gate::h(1));
+        parallel.push(Gate::t(1));
+        assert_eq!(t_depth(&parallel), 1);
+    }
+
+    #[test]
+    fn depth_of_toffoli_network() {
+        // The 15-gate Clifford+T Toffoli has known T-depth <= 6 in this
+        // (unoptimized-scheduling) layering and full depth <= 13.
+        let mut c = Circuit::new(3);
+        c.push(Gate::toffoli(0, 1, 2));
+        assert_eq!(depth(&c), 1);
+        assert_eq!(t_depth(&c), 0);
+    }
+
+    #[test]
+    fn swap_and_cz_count_as_unmapped() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::swap(0, 1));
+        c.push(Gate::cz(0, 1));
+        let s = c.stats();
+        assert_eq!(s.unmapped_multi_count, 2);
+        assert_eq!(s.cnot_count, 0);
+    }
+}

@@ -1,0 +1,570 @@
+//! The end-to-end technology-dependent synthesis pipeline (paper Fig. 2,
+//! back-end).
+//!
+//! ```text
+//! input circuit (technology-independent)
+//!   -> placement onto device qubits          (identity, as in the paper,
+//!                                             or greedy — future-work ext.)
+//!   -> generalized-Toffoli decomposition     (Barenco)
+//!   -> Toffoli/CZ/SWAP -> Clifford+T + CNOT  (Nielsen & Chuang)
+//!   -> CNOT legalization                     (Fig. 6 reversal, CTR reroute)
+//!   -> local optimization                    (until the cost function
+//!                                             stops improving)
+//!   -> QMDD formal verification              (output == specification)
+//! ```
+
+use crate::decompose::{decompose_circuit_with, DecomposeStrategy};
+use crate::error::CompileError;
+use crate::optimize::{optimize_with, OptimizeConfig};
+use crate::place::{place, Placement, PlacementStrategy};
+use crate::remap::{route_circuit_persistent, SwapStrategy};
+use crate::route::{route_circuit_with, RoutingObjective};
+use qsyn_arch::{CostModel, Device, TransmonCost};
+use qsyn_circuit::{Circuit, CircuitStats};
+use qsyn_qmdd::{equivalent, equivalent_miter};
+
+/// Which formal equivalence check to run on the compiled output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verification {
+    /// Skip verification (for benchmarking the synthesis stages alone).
+    None,
+    /// Build both QMDDs and compare canonical root edges (the paper's
+    /// method).
+    Canonical,
+    /// Interleaved miter `U_out * U_spec^dagger = I`; scales to very wide
+    /// registers.
+    Miter,
+    /// Canonical up to 16 device qubits, miter beyond.
+    #[default]
+    Auto,
+}
+
+/// The technology-dependent quantum logic synthesis tool.
+///
+/// # Examples
+///
+/// ```
+/// use qsyn_arch::devices;
+/// use qsyn_circuit::Circuit;
+/// use qsyn_core::Compiler;
+/// use qsyn_gate::Gate;
+///
+/// let mut spec = Circuit::new(3);
+/// spec.push(Gate::toffoli(0, 1, 2));
+///
+/// let compiler = Compiler::new(devices::ibmqx2());
+/// let result = compiler.compile(&spec)?;
+/// assert!(result.optimized.is_technology_ready());
+/// assert_eq!(result.verified, Some(true));
+/// # Ok::<(), qsyn_core::CompileError>(())
+/// ```
+pub struct Compiler {
+    device: Device,
+    cost: Box<dyn CostModel>,
+    placement: PlacementStrategy,
+    routing: RoutingObjective,
+    swaps: SwapStrategy,
+    decompose: DecomposeStrategy,
+    verification: Verification,
+    optimize_config: Option<OptimizeConfig>,
+}
+
+impl std::fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiler")
+            .field("device", &self.device.name())
+            .field("cost", &self.cost.name())
+            .field("placement", &self.placement)
+            .field("verification", &self.verification)
+            .field("optimize", &self.optimize_config)
+            .finish()
+    }
+}
+
+impl Compiler {
+    /// Creates a compiler for a device with the paper's defaults: Eqn. 2
+    /// cost model, identity placement, optimization on, automatic
+    /// verification.
+    pub fn new(device: Device) -> Self {
+        Compiler {
+            device,
+            cost: Box::new(TransmonCost::default()),
+            placement: PlacementStrategy::Identity,
+            routing: RoutingObjective::FewestSwaps,
+            swaps: SwapStrategy::ReturnControl,
+            decompose: DecomposeStrategy::Exact,
+            verification: Verification::Auto,
+            optimize_config: Some(OptimizeConfig::default()),
+        }
+    }
+
+    /// Selects the SWAP strategy: the paper's swap-out/swap-back CTR or
+    /// the persistent-layout router with one final restoration network.
+    pub fn with_swap_strategy(mut self, swaps: SwapStrategy) -> Self {
+        self.swaps = swaps;
+        self
+    }
+
+    /// Selects how generalized Toffolis are lowered (exact Clifford+T
+    /// chains, as in the paper, or paired relative-phase chains with about
+    /// half the T-count).
+    pub fn with_decompose_strategy(mut self, strategy: DecomposeStrategy) -> Self {
+        self.decompose = strategy;
+        self
+    }
+
+    /// Selects the CTR routing objective (fewest swaps, as in the paper,
+    /// or highest fidelity using device characterization data).
+    pub fn with_routing(mut self, routing: RoutingObjective) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Replaces the cost model (the tool accepts "any arbitrary quantum
+    /// cost function").
+    pub fn with_cost_model(mut self, cost: Box<dyn CostModel>) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Selects the placement strategy.
+    pub fn with_placement(mut self, placement: PlacementStrategy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Selects the verification mode.
+    pub fn with_verification(mut self, verification: Verification) -> Self {
+        self.verification = verification;
+        self
+    }
+
+    /// Enables or disables the optimization stage.
+    pub fn with_optimization(mut self, on: bool) -> Self {
+        self.optimize_config = on.then(OptimizeConfig::default);
+        self
+    }
+
+    /// Restricts which optimization families run (ablation experiments).
+    pub fn with_optimize_config(mut self, config: OptimizeConfig) -> Self {
+        self.optimize_config = Some(config);
+        self
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &dyn CostModel {
+        self.cost.as_ref()
+    }
+
+    /// Runs the full back-end pipeline on a technology-independent circuit.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::TooWide`] — more lines than device qubits (the
+    ///   paper's `N/A` case);
+    /// * [`CompileError::NoAncilla`] — a generalized Toffoli cannot borrow
+    ///   a line (also reported `N/A` in the paper);
+    /// * [`CompileError::RouteNotFound`] — disconnected coupling map;
+    /// * [`CompileError::VerificationFailed`] — the built-in QMDD check
+    ///   rejected the output (never expected; would indicate a compiler
+    ///   defect).
+    pub fn compile(&self, input: &Circuit) -> Result<CompileResult, CompileError> {
+        if input.n_qubits() > self.device.n_qubits() {
+            return Err(CompileError::TooWide {
+                needed: input.n_qubits(),
+                available: self.device.n_qubits(),
+            });
+        }
+        let placement = place(input, &self.device, self.placement);
+        let mut placed = placement.apply(input, &self.device);
+        let base_name = input.name().unwrap_or("circuit").to_string();
+        placed.set_name(base_name.clone());
+
+        let decomposed = decompose_circuit_with(&placed, Some(&self.device), self.decompose)?;
+        let mut unoptimized = match self.swaps {
+            SwapStrategy::ReturnControl => {
+                route_circuit_with(&decomposed, &self.device, self.routing)?
+            }
+            SwapStrategy::PersistentLayout => {
+                route_circuit_persistent(&decomposed, &self.device, self.routing)?
+            }
+        };
+        unoptimized.set_name(format!("{base_name}@{}", self.device.name()));
+
+        let optimized = match self.optimize_config {
+            Some(cfg) => {
+                optimize_with(&unoptimized, Some(&self.device), self.cost.as_ref(), cfg)
+            }
+            None => unoptimized.clone(),
+        };
+
+        let verified = match self.effective_verification() {
+            Verification::None => None,
+            Verification::Canonical => Some(equivalent(&placed, &optimized).equivalent),
+            Verification::Miter | Verification::Auto => {
+                Some(equivalent_miter(&placed, &optimized).equivalent)
+            }
+        };
+        if verified == Some(false) {
+            return Err(CompileError::VerificationFailed);
+        }
+
+        Ok(CompileResult {
+            placement,
+            placed,
+            unoptimized,
+            optimized,
+            verified,
+        })
+    }
+
+    fn effective_verification(&self) -> Verification {
+        match self.verification {
+            Verification::Auto => {
+                if self.device.n_qubits() <= 16 {
+                    Verification::Canonical
+                } else {
+                    Verification::Miter
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Everything the pipeline produced for one input circuit.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// Logical-to-physical assignment used.
+    pub placement: Placement,
+    /// The specification relabeled onto device lines (what verification
+    /// compares against).
+    pub placed: Circuit,
+    /// The mapped circuit before local optimization (the paper's
+    /// "unoptimized mapping" table columns).
+    pub unoptimized: Circuit,
+    /// The final technology-dependent circuit (the "optimized mapping"
+    /// columns; emit with [`qsyn_circuit::to_qasm`]).
+    pub optimized: Circuit,
+    /// `Some(true)` when a QMDD equivalence check ran and passed; `None`
+    /// when verification was disabled.
+    pub verified: Option<bool>,
+}
+
+impl CompileResult {
+    /// Statistics of the pre-optimization mapping.
+    pub fn unoptimized_stats(&self) -> CircuitStats {
+        self.unoptimized.stats()
+    }
+
+    /// Statistics of the final output.
+    pub fn optimized_stats(&self) -> CircuitStats {
+        self.optimized.stats()
+    }
+
+    /// Percent cost decrease achieved by optimization under a cost model
+    /// (the quantity reported in the paper's Tables 4, 6 and 8).
+    pub fn percent_cost_decrease(&self, cost: &dyn CostModel) -> f64 {
+        let pre = cost.circuit_cost(&self.unoptimized);
+        let post = cost.circuit_cost(&self.optimized);
+        if pre == 0.0 {
+            0.0
+        } else {
+            (pre - post) / pre * 100.0
+        }
+    }
+
+    /// A human-readable markdown report of the compilation: specification
+    /// vs. mapped vs. optimized metrics, depths, placement, and the
+    /// verification verdict.
+    pub fn report(&self, cost: &dyn CostModel) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compilation report for {:?}",
+            self.placed.name().unwrap_or("circuit")
+        );
+        let _ = writeln!(out, "| stage | T | CNOT | gates | depth | T-depth | {} |", cost.name());
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for (label, c) in [
+            ("specification", &self.placed),
+            ("mapped", &self.unoptimized),
+            ("optimized", &self.optimized),
+        ] {
+            let s = c.stats();
+            let _ = writeln!(
+                out,
+                "| {label} | {} | {} | {} | {} | {} | {:.2} |",
+                s.t_count,
+                s.cnot_count,
+                s.volume,
+                qsyn_circuit::depth(c),
+                qsyn_circuit::t_depth(c),
+                cost.circuit_cost(c)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "optimization recovered {:.1}% of the mapping cost",
+            self.percent_cost_decrease(cost)
+        );
+        if !self.placement.is_identity() {
+            let _ = writeln!(out, "placement: {:?}", self.placement.as_slice());
+        }
+        let _ = writeln!(
+            out,
+            "QMDD verification: {}",
+            match self.verified {
+                Some(true) => "passed",
+                Some(false) => "FAILED",
+                None => "skipped",
+            }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_arch::devices;
+    use qsyn_gate::Gate;
+
+    fn toffoli_spec() -> Circuit {
+        let mut c = Circuit::new(3).with_name("tof");
+        c.push(Gate::toffoli(0, 1, 2));
+        c
+    }
+
+    #[test]
+    fn compiles_toffoli_to_every_ibm_device() {
+        for d in devices::ibm_devices() {
+            let r = Compiler::new(d.clone()).compile(&toffoli_spec()).unwrap();
+            assert!(r.optimized.is_technology_ready(), "{}", d.name());
+            assert_eq!(r.verified, Some(true));
+            // Every CNOT in the output is a legal placement.
+            for g in r.optimized.gates() {
+                if let Gate::Cx { control, target } = g {
+                    assert!(d.has_coupling(*control, *target), "{} {g}", d.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_never_hurts_cost() {
+        let cost = TransmonCost::default();
+        for d in devices::ibm_devices() {
+            let with = Compiler::new(d.clone()).compile(&toffoli_spec()).unwrap();
+            let without = Compiler::new(d)
+                .with_optimization(false)
+                .compile(&toffoli_spec())
+                .unwrap();
+            assert!(
+                cost.circuit_cost(&with.optimized) <= cost.circuit_cost(&without.optimized)
+            );
+        }
+    }
+
+    #[test]
+    fn too_wide_reports_na() {
+        let mut c = Circuit::new(6);
+        c.push(Gate::x(5));
+        let err = Compiler::new(devices::ibmqx2()).compile(&c).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::TooWide {
+                needed: 6,
+                available: 5
+            }
+        );
+    }
+
+    #[test]
+    fn t5_on_five_qubit_device_is_na() {
+        // Table 5: 4gt12-v0_88 (largest gate T5) is N/A on ibmqx2/ibmqx4
+        // even though widths match, because the decomposition needs an
+        // ancilla line.
+        let mut c = Circuit::new(5);
+        c.push(Gate::mct(vec![0, 1, 2, 3], 4));
+        let err = Compiler::new(devices::ibmqx2()).compile(&c).unwrap_err();
+        assert_eq!(err, CompileError::NoAncilla { controls: 4 });
+        // The same gate compiles fine on a 16-qubit device.
+        let r = Compiler::new(devices::ibmqx5()).compile(&c).unwrap();
+        assert_eq!(r.verified, Some(true));
+    }
+
+    #[test]
+    fn simulator_mapping_leaves_clifford_t_unchanged() {
+        // Paper Section 5: benchmarks mapped to the simulator match their
+        // technology-independent form; optimization finds nothing to cut.
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(2));
+        c.push(Gate::cx(0, 2));
+        c.push(Gate::tdg(2));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::t(2));
+        let r = Compiler::new(Device::simulator(3)).compile(&c).unwrap();
+        assert_eq!(r.optimized.gates(), c.gates());
+    }
+
+    #[test]
+    fn greedy_placement_compiles_and_verifies() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::toffoli(0, 1, 3));
+        c.push(Gate::cx(0, 3));
+        let r = Compiler::new(devices::ibmqx5())
+            .with_placement(PlacementStrategy::Greedy)
+            .compile(&c)
+            .unwrap();
+        assert_eq!(r.verified, Some(true));
+        assert!(!r.placement.is_identity() || r.placement.is_identity());
+    }
+
+    #[test]
+    fn annealed_placement_compiles_and_verifies() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::toffoli(0, 1, 3));
+        c.push(Gate::cx(0, 3));
+        c.push(Gate::cx(3, 2));
+        let r = Compiler::new(devices::ibmqx5())
+            .with_placement(PlacementStrategy::Annealed)
+            .compile(&c)
+            .unwrap();
+        assert_eq!(r.verified, Some(true));
+    }
+
+    #[test]
+    fn verification_modes_agree() {
+        let spec = toffoli_spec();
+        for v in [Verification::Canonical, Verification::Miter, Verification::Auto] {
+            let r = Compiler::new(devices::ibmqx4())
+                .with_verification(v)
+                .compile(&spec)
+                .unwrap();
+            assert_eq!(r.verified, Some(true));
+        }
+        let r = Compiler::new(devices::ibmqx4())
+            .with_verification(Verification::None)
+            .compile(&spec)
+            .unwrap();
+        assert_eq!(r.verified, None);
+    }
+
+    #[test]
+    fn percent_cost_decrease_is_consistent() {
+        let cost = TransmonCost::default();
+        let r = Compiler::new(devices::ibmqx3()).compile(&toffoli_spec()).unwrap();
+        let pct = r.percent_cost_decrease(&cost);
+        assert!((0.0..=100.0).contains(&pct));
+        let pre = cost.circuit_cost(&r.unoptimized);
+        let post = cost.circuit_cost(&r.optimized);
+        assert!(((pre - post) / pre * 100.0 - pct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_qasm_is_parseable_and_equivalent() {
+        let r = Compiler::new(devices::ibmqx2()).compile(&toffoli_spec()).unwrap();
+        let qasm = r.optimized.to_qasm().unwrap();
+        let parsed = Circuit::from_qasm(&qasm).unwrap();
+        assert!(qsyn_qmdd::circuits_equal(&r.optimized, &parsed));
+    }
+
+    #[test]
+    fn custom_cost_model_is_used() {
+        let r = Compiler::new(devices::ibmqx2())
+            .with_cost_model(Box::new(qsyn_arch::VolumeCost))
+            .compile(&toffoli_spec())
+            .unwrap();
+        assert_eq!(r.verified, Some(true));
+    }
+
+    #[test]
+    fn report_summarizes_all_stages() {
+        let r = Compiler::new(devices::ibmqx3()).compile(&toffoli_spec()).unwrap();
+        let text = r.report(&TransmonCost::default());
+        assert!(text.contains("specification"));
+        assert!(text.contains("mapped"));
+        assert!(text.contains("optimized"));
+        assert!(text.contains("QMDD verification: passed"));
+        assert!(text.contains("transmon-eqn2"));
+    }
+
+    #[test]
+    fn persistent_layout_strategy_compiles_and_verifies() {
+        let mut spec = Circuit::new(5);
+        spec.push(Gate::toffoli(0, 2, 4));
+        spec.push(Gate::cx(4, 0));
+        spec.push(Gate::cx(0, 4));
+        for device in devices::ibm_devices() {
+            let r = Compiler::new(device.clone())
+                .with_swap_strategy(SwapStrategy::PersistentLayout)
+                .compile(&spec)
+                .unwrap();
+            assert_eq!(r.verified, Some(true), "{}", device.name());
+            for g in r.optimized.gates() {
+                if let Gate::Cx { control, target } = g {
+                    assert!(device.has_coupling(*control, *target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relative_phase_strategy_compiles_verified_with_fewer_t() {
+        let mut spec = Circuit::new(5);
+        spec.push(Gate::mct(vec![0, 1, 2, 3], 4));
+        let exact = Compiler::new(devices::ibmqx5()).compile(&spec).unwrap();
+        let rp = Compiler::new(devices::ibmqx5())
+            .with_decompose_strategy(DecomposeStrategy::RelativePhase)
+            .compile(&spec)
+            .unwrap();
+        assert_eq!(exact.verified, Some(true));
+        assert_eq!(rp.verified, Some(true), "relative phases must cancel");
+        assert!(
+            rp.optimized.stats().t_count < exact.optimized.stats().t_count,
+            "{} vs {}",
+            rp.optimized.stats().t_count,
+            exact.optimized.stats().t_count
+        );
+    }
+
+    #[test]
+    fn compiles_to_cz_native_library() {
+        // The paper's modularity claim: add a library with a different
+        // native two-qubit gate and the same pipeline targets it.
+        use qsyn_arch::TwoQubitNative;
+        let d = qsyn_arch::devices::ring(5).with_native(TwoQubitNative::Cz);
+        let r = Compiler::new(d.clone()).compile(&toffoli_spec()).unwrap();
+        assert_eq!(r.verified, Some(true));
+        assert!(d.can_execute(&r.optimized));
+        assert!(
+            r.optimized
+                .gates()
+                .iter()
+                .any(|g| matches!(g, Gate::Cz { .. })),
+            "CZ library output uses CZ"
+        );
+        assert!(
+            !r.optimized
+                .gates()
+                .iter()
+                .any(|g| matches!(g, Gate::Cx { .. })),
+            "no CNOT on a CZ device"
+        );
+    }
+
+    #[test]
+    fn debug_format_names_parts() {
+        let c = Compiler::new(devices::ibmqx2());
+        let text = format!("{c:?}");
+        assert!(text.contains("ibmqx2"));
+        assert!(text.contains("transmon-eqn2"));
+    }
+}

@@ -1,0 +1,701 @@
+//! Local cost-function optimization (paper Section 4, steps 5-6).
+//!
+//! Two optimization families run recursively until the technology cost
+//! function stops improving:
+//!
+//! * removal of gate partitions equal to the identity — adjacent (possibly
+//!   commutation-separated) inverse pairs and whole phase-gate runs that
+//!   sum to a multiple of 2pi;
+//! * rewrites by logically identical cheaper circuit identities — exact
+//!   one-qubit fusions (`T T = S`, ...), minimal re-emission of diagonal
+//!   phase runs, and the `H (x) H` CNOT-reversal contraction.
+//!
+//! Every rewrite is *exact* (no global-phase slack) so the QMDD
+//! verification of the full pipeline keeps passing.
+//!
+//! Passes work on a tombstone vector with per-qubit occurrence lists, so a
+//! pass costs `O(gates x local-window)` instead of quadratic scans over
+//! unrelated lines — the Table 8 benchmarks run these passes over tens of
+//! thousands of gates.
+
+use qsyn_arch::{CostModel, Device};
+use qsyn_circuit::Circuit;
+use qsyn_gate::{fuse, Fusion, Gate, SingleOp};
+
+/// Whether two gates commute, by conservative exact rules. Only the gate
+/// vocabulary that survives technology mapping (one-qubit gates, CNOT, CZ)
+/// gets precise treatment; anything else is assumed non-commuting when the
+/// supports overlap.
+pub fn commutes(a: &Gate, b: &Gate) -> bool {
+    if !a.overlaps(b) {
+        return true;
+    }
+    match (a, b) {
+        (Gate::Single { op: oa, qubit: qa }, Gate::Single { op: ob, qubit: qb }) => {
+            qa != qb || oa == ob || (oa.is_diagonal() && ob.is_diagonal())
+        }
+        (Gate::Single { op, qubit }, Gate::Cx { control, target })
+        | (Gate::Cx { control, target }, Gate::Single { op, qubit }) => {
+            if qubit == control {
+                op.is_diagonal()
+            } else if qubit == target {
+                *op == SingleOp::X
+            } else {
+                true
+            }
+        }
+        (Gate::Single { op, .. }, Gate::Cz { .. }) | (Gate::Cz { .. }, Gate::Single { op, .. }) => {
+            op.is_diagonal()
+        }
+        (
+            Gate::Cx {
+                control: c1,
+                target: t1,
+            },
+            Gate::Cx {
+                control: c2,
+                target: t2,
+            },
+        ) => t1 != c2 && c1 != t2,
+        (Gate::Cx { target, .. }, Gate::Cz { control, target: t2 })
+        | (Gate::Cz { control, target: t2 }, Gate::Cx { target, .. }) => {
+            target != control && target != t2
+        }
+        (Gate::Cz { .. }, Gate::Cz { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Tombstone gate buffer with per-qubit occurrence lists for fast
+/// neighbor queries along a line.
+struct Buffer {
+    slots: Vec<Option<Gate>>,
+    occ: Vec<Vec<usize>>, // per qubit: slot indices touching it, ascending
+}
+
+impl Buffer {
+    fn new(gates: Vec<Gate>, n_qubits: usize) -> Self {
+        let mut occ = vec![Vec::new(); n_qubits];
+        for (i, g) in gates.iter().enumerate() {
+            for q in g.qubits() {
+                occ[q].push(i);
+            }
+        }
+        Buffer {
+            slots: gates.into_iter().map(Some).collect(),
+            occ,
+        }
+    }
+
+    fn into_gates(self) -> Vec<Gate> {
+        self.slots.into_iter().flatten().collect()
+    }
+
+    /// Next live slot after `i` touching `q`.
+    fn next_on(&self, i: usize, q: usize) -> Option<usize> {
+        let list = &self.occ[q];
+        let start = list.partition_point(|&k| k <= i);
+        list[start..]
+            .iter()
+            .copied()
+            .find(|&k| self.slots[k].is_some())
+    }
+
+    /// Previous live slot before `i` touching `q`.
+    fn prev_on(&self, i: usize, q: usize) -> Option<usize> {
+        let list = &self.occ[q];
+        let end = list.partition_point(|&k| k < i);
+        list[..end]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&k| self.slots[k].is_some())
+    }
+
+    /// Next live slot after `i` sharing any line with `qubits`.
+    fn next_overlapping(&self, i: usize, qubits: &[usize]) -> Option<usize> {
+        qubits
+            .iter()
+            .filter_map(|&q| self.next_on(i, q))
+            .min()
+    }
+}
+
+/// Removes inverse gate pairs separated only by gates that commute with the
+/// first element. Returns whether anything changed.
+pub fn cancel_inverse_pairs(gates: &mut Vec<Gate>, n_qubits: usize) -> bool {
+    let mut buf = Buffer::new(std::mem::take(gates), n_qubits);
+    let mut changed = false;
+    for i in 0..buf.slots.len() {
+        let Some(gi) = buf.slots[i].clone() else {
+            continue;
+        };
+        let inv = gi.inverse();
+        let qubits = gi.qubits();
+        let mut pos = i;
+        while let Some(j) = buf.next_overlapping(pos, &qubits) {
+            let gj = buf.slots[j].as_ref().expect("live slot");
+            if *gj == inv {
+                buf.slots[i] = None;
+                buf.slots[j] = None;
+                changed = true;
+                break;
+            }
+            if !commutes(&gi, gj) {
+                break;
+            }
+            pos = j;
+        }
+    }
+    *gates = buf.into_gates();
+    changed
+}
+
+/// Fuses neighboring one-qubit gates on the same line through the exact
+/// fusion table (`T T -> S`, `H H -> id`, ...). Returns whether anything
+/// changed.
+pub fn fuse_single_runs(gates: &mut Vec<Gate>, n_qubits: usize) -> bool {
+    let mut buf = Buffer::new(std::mem::take(gates), n_qubits);
+    let mut changed = false;
+    let mut i = 0;
+    while i < buf.slots.len() {
+        let Some(Gate::Single { op, qubit }) = buf.slots[i].clone() else {
+            i += 1;
+            continue;
+        };
+        if let Some(j) = buf.next_on(i, qubit) {
+            if let Some(Gate::Single { op: op2, .. }) = buf.slots[j].clone() {
+                match fuse(op, op2) {
+                    Fusion::Identity => {
+                        buf.slots[i] = None;
+                        buf.slots[j] = None;
+                        changed = true;
+                        i += 1;
+                        continue;
+                    }
+                    Fusion::Single(c) => {
+                        buf.slots[i] = Some(Gate::single(c, qubit));
+                        buf.slots[j] = None;
+                        changed = true;
+                        continue; // retry fusing the new gate at i
+                    }
+                    Fusion::None => {}
+                }
+            }
+        }
+        i += 1;
+    }
+    *gates = buf.into_gates();
+    changed
+}
+
+/// Folds runs of diagonal phase gates (`T, S, Z, S†, T†`) on one line into
+/// the minimal equivalent sequence, hopping over CNOT controls and CZs
+/// (which commute with diagonals). Returns whether anything changed.
+pub fn fold_diagonal_runs(gates: &mut Vec<Gate>, n_qubits: usize) -> bool {
+    let mut buf = Buffer::new(std::mem::take(gates), n_qubits);
+    let mut changed = false;
+    for i in 0..buf.slots.len() {
+        let Some(Gate::Single { op, qubit }) = buf.slots[i].clone() else {
+            continue;
+        };
+        let Some(first_steps) = op.phase_steps() else {
+            continue;
+        };
+        // Collect the maximal diagonal run on this line.
+        let mut members = vec![i];
+        let mut steps = first_steps as u32;
+        let mut pos = i;
+        while let Some(j) = buf.next_on(pos, qubit) {
+            match buf.slots[j].as_ref().expect("live slot") {
+                Gate::Single { op: o2, .. } => match o2.phase_steps() {
+                    Some(k) => {
+                        members.push(j);
+                        steps += k as u32;
+                    }
+                    None => break,
+                },
+                Gate::Cx { control, .. } if *control == qubit => {}
+                Gate::Cz { .. } => {}
+                _ => break,
+            }
+            pos = j;
+        }
+        let replacement = SingleOp::from_phase_steps((steps % 8) as u8);
+        if replacement.len() < members.len() {
+            // Re-emit the minimal form into the leading member slots;
+            // tombstone the rest. No index shifts occur.
+            for (k, &slot) in members.iter().enumerate() {
+                buf.slots[slot] = replacement
+                    .get(k)
+                    .map(|&rop| Gate::single(rop, qubit));
+            }
+            changed = true;
+        }
+    }
+    *gates = buf.into_gates();
+    changed
+}
+
+/// Contracts `H(a) H(b) CX(a,b) H(a) H(b)` into the reversed `CX(b,a)`
+/// (paper Fig. 6 read right-to-left), when the reversed orientation is
+/// legal on the device. Returns whether anything changed.
+pub fn contract_hh_cx_hh(gates: &mut Vec<Gate>, n_qubits: usize, device: Option<&Device>) -> bool {
+    let mut buf = Buffer::new(std::mem::take(gates), n_qubits);
+    let mut changed = false;
+    for i in 0..buf.slots.len() {
+        let Some(Gate::Cx { control, target }) = buf.slots[i].clone() else {
+            continue;
+        };
+        if let Some(d) = device {
+            if !d.has_coupling(target, control) {
+                continue;
+            }
+        }
+        fn h_at(buf: &Buffer, k: Option<usize>, q: usize) -> Option<usize> {
+            k.filter(|&k| buf.slots[k] == Some(Gate::h(q)))
+        }
+        let (Some(pa), Some(pb), Some(na), Some(nb)) = (
+            h_at(&buf, buf.prev_on(i, control), control),
+            h_at(&buf, buf.prev_on(i, target), target),
+            h_at(&buf, buf.next_on(i, control), control),
+            h_at(&buf, buf.next_on(i, target), target),
+        ) else {
+            continue;
+        };
+        buf.slots[i] = Some(Gate::cx(target, control));
+        for k in [pa, pb, na, nb] {
+            buf.slots[k] = None;
+        }
+        changed = true;
+    }
+    *gates = buf.into_gates();
+    changed
+}
+
+/// Exact lookup table: matrices of all library words of length <= 2,
+/// mapped to their shortest word. Phase-exact (global phase included), so
+/// replacements never perturb QMDD verification.
+fn short_word_table() -> &'static std::collections::HashMap<[i64; 8], Vec<SingleOp>> {
+    use qsyn_gate::SINGLE_OPS;
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<std::collections::HashMap<[i64; 8], Vec<SingleOp>>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = std::collections::HashMap::new();
+        let key = |m: &qsyn_gate::Matrix| -> [i64; 8] {
+            let mut k = [0i64; 8];
+            for (pos, (r, c)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+                let v = m[(*r, *c)];
+                k[2 * pos] = (v.re * 1e9).round() as i64;
+                k[2 * pos + 1] = (v.im * 1e9).round() as i64;
+            }
+            k
+        };
+        table.insert(key(&qsyn_gate::Matrix::identity(2)), Vec::new());
+        for a in SINGLE_OPS {
+            table.entry(key(&a.matrix())).or_insert_with(|| vec![a]);
+        }
+        for a in SINGLE_OPS {
+            for b in SINGLE_OPS {
+                let prod = b.matrix().mul(&a.matrix());
+                table.entry(key(&prod)).or_insert_with(|| vec![a, b]);
+            }
+        }
+        table
+    })
+}
+
+/// Rewrites adjacent triples of one-qubit gates on a line into exactly
+/// equal words of length <= 2 (e.g. `H Z H -> X`, `S X S† -> Y`).
+/// Returns whether anything changed.
+pub fn canonicalize_single_triples(gates: &mut Vec<Gate>, n_qubits: usize) -> bool {
+    let mut buf = Buffer::new(std::mem::take(gates), n_qubits);
+    let mut changed = false;
+    for i in 0..buf.slots.len() {
+        let Some(Gate::Single { op: o1, qubit }) = buf.slots[i].clone() else {
+            continue;
+        };
+        let Some(j) = buf.next_on(i, qubit) else { continue };
+        let Some(Gate::Single { op: o2, .. }) = buf.slots[j].clone() else {
+            continue;
+        };
+        let Some(k) = buf.next_on(j, qubit) else { continue };
+        let Some(Gate::Single { op: o3, .. }) = buf.slots[k].clone() else {
+            continue;
+        };
+        let prod = o3.matrix().mul(&o2.matrix().mul(&o1.matrix()));
+        let key = {
+            let mut kk = [0i64; 8];
+            for (pos, (r, c)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+                let v = prod[(*r, *c)];
+                kk[2 * pos] = (v.re * 1e9).round() as i64;
+                kk[2 * pos + 1] = (v.im * 1e9).round() as i64;
+            }
+            kk
+        };
+        if let Some(word) = short_word_table().get(&key) {
+            if word.len() < 3 {
+                let slots = [i, j, k];
+                for (pos, &slot) in slots.iter().enumerate() {
+                    buf.slots[slot] = word.get(pos).map(|&op| Gate::single(op, qubit));
+                }
+                changed = true;
+            }
+        }
+    }
+    *gates = buf.into_gates();
+    changed
+}
+
+/// Which optimization families to run (used by the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeConfig {
+    /// Identity-partition removal (inverse-pair cancellation).
+    pub cancel_identities: bool,
+    /// Circuit-identity rewrites (fusion, phase folding, HH-CX-HH).
+    pub rewrite_identities: bool,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            cancel_identities: true,
+            rewrite_identities: true,
+        }
+    }
+}
+
+/// Runs the local optimizers recursively until the cost function stops
+/// improving (paper steps 5-6). `device` gates the direction-sensitive
+/// rewrites; pass `None` for technology-independent optimization.
+pub fn optimize_with(
+    circuit: &Circuit,
+    device: Option<&Device>,
+    cost: &dyn CostModel,
+    config: OptimizeConfig,
+) -> Circuit {
+    let n = circuit.n_qubits();
+    let mut best = circuit.clone();
+    let mut best_cost = cost.circuit_cost(&best);
+    loop {
+        let mut gates = best.gates().to_vec();
+        let mut any = false;
+        if config.cancel_identities {
+            any |= cancel_inverse_pairs(&mut gates, n);
+        }
+        if config.rewrite_identities {
+            any |= fuse_single_runs(&mut gates, n);
+            any |= fold_diagonal_runs(&mut gates, n);
+            any |= canonicalize_single_triples(&mut gates, n);
+            any |= contract_hh_cx_hh(&mut gates, n, device);
+        }
+        if !any {
+            return best;
+        }
+        let mut cand = Circuit::from_gates(n, gates);
+        if let Some(name) = best.name() {
+            cand.set_name(name.to_string());
+        }
+        let c = cost.circuit_cost(&cand);
+        if c < best_cost {
+            best = cand;
+            best_cost = c;
+        } else {
+            return best;
+        }
+    }
+}
+
+/// [`optimize_with`] with the default configuration (both families on).
+pub fn optimize(circuit: &Circuit, device: Option<&Device>, cost: &dyn CostModel) -> Circuit {
+    optimize_with(circuit, device, cost, OptimizeConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_arch::TransmonCost;
+    use qsyn_qmdd::circuits_equal;
+
+    fn opt(c: &Circuit) -> Circuit {
+        optimize(c, None, &TransmonCost::default())
+    }
+
+    #[test]
+    fn commutation_rules() {
+        assert!(commutes(&Gate::t(0), &Gate::cx(0, 1))); // diag on control
+        assert!(!commutes(&Gate::t(1), &Gate::cx(0, 1))); // diag on target
+        assert!(commutes(&Gate::x(1), &Gate::cx(0, 1))); // X on target
+        assert!(!commutes(&Gate::x(0), &Gate::cx(0, 1))); // X on control
+        assert!(commutes(&Gate::cx(0, 1), &Gate::cx(0, 2))); // shared control
+        assert!(commutes(&Gate::cx(0, 2), &Gate::cx(1, 2))); // shared target
+        assert!(!commutes(&Gate::cx(0, 1), &Gate::cx(1, 2))); // chained
+        assert!(commutes(&Gate::cz(0, 1), &Gate::cz(1, 2)));
+        assert!(commutes(&Gate::h(0), &Gate::t(1))); // disjoint
+        assert!(!commutes(&Gate::h(0), &Gate::t(0)));
+    }
+
+    #[test]
+    fn commutation_rules_are_sound() {
+        // Every pair the table declares commuting must commute as matrices.
+        let gates = [
+            Gate::t(0),
+            Gate::x(0),
+            Gate::h(0),
+            Gate::t(1),
+            Gate::x(1),
+            Gate::single(SingleOp::Z, 1),
+            Gate::cx(0, 1),
+            Gate::cx(1, 0),
+            Gate::cx(0, 2),
+            Gate::cx(2, 1),
+            Gate::cz(0, 1),
+            Gate::cz(1, 2),
+        ];
+        for a in &gates {
+            for b in &gates {
+                if commutes(a, b) {
+                    let ab = b.to_matrix(3).mul(&a.to_matrix(3));
+                    let ba = a.to_matrix(3).mul(&b.to_matrix(3));
+                    assert!(ab.approx_eq(&ba), "{a} vs {b} declared commuting");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_inverse_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(0, 1));
+        let o = opt(&c);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn separated_inverse_pairs_cancel_through_commuting_gates() {
+        // T q0 ... CX(0,1) ... T† q0: the T pair hops over its own control.
+        let mut c = Circuit::new(2);
+        c.push(Gate::t(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::tdg(0));
+        let o = opt(&c);
+        assert_eq!(o.len(), 1);
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn blocked_pairs_do_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::t(1));
+        c.push(Gate::cx(0, 1)); // diag on target: blocks
+        c.push(Gate::tdg(1));
+        let o = opt(&c);
+        assert_eq!(o.len(), 3);
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn fusion_rewrites_tt_to_s() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::t(0));
+        c.push(Gate::t(0));
+        let o = opt(&c);
+        assert_eq!(o.gates(), &[Gate::single(SingleOp::S, 0)]);
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn diagonal_run_folds_across_cnot_controls() {
+        // T; (CX with control here); T; S; S: total phase 8 steps = 2pi on
+        // top of one T -> folds to a single T even across the CNOT.
+        let mut c = Circuit::new(2);
+        c.push(Gate::t(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::t(0));
+        c.push(Gate::single(SingleOp::S, 0));
+        c.push(Gate::single(SingleOp::S, 0));
+        let o = opt(&c);
+        assert!(circuits_equal(&c, &o));
+        assert!(o.len() <= 3, "got {} gates", o.len());
+    }
+
+    #[test]
+    fn full_phase_cycle_disappears() {
+        let mut c = Circuit::new(1);
+        for _ in 0..8 {
+            c.push(Gate::t(0));
+        }
+        assert!(opt(&c).is_empty());
+    }
+
+    #[test]
+    fn triple_canonicalization_rewrites_hzh_to_x() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::h(0));
+        c.push(Gate::single(SingleOp::Z, 0));
+        c.push(Gate::h(0));
+        let o = opt(&c);
+        assert_eq!(o.gates(), &[Gate::x(0)]);
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn triple_canonicalization_rewrites_sxs_to_y() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::single(SingleOp::Sdg, 1));
+        c.push(Gate::x(1));
+        c.push(Gate::single(SingleOp::S, 1));
+        let o = opt(&c);
+        assert!(circuits_equal(&c, &o));
+        assert!(o.len() <= 1, "S X S† is a single Y: got {}", o.len());
+    }
+
+    #[test]
+    fn triple_canonicalization_is_phase_exact() {
+        // X Z X = -Z: differs from Z by a global phase, so it must NOT be
+        // rewritten to Z (QMDD verification would fail).
+        let mut c = Circuit::new(1);
+        c.push(Gate::x(0));
+        c.push(Gate::single(SingleOp::Z, 0));
+        c.push(Gate::x(0));
+        let o = opt(&c);
+        assert!(circuits_equal(&c, &o), "phase must be preserved");
+    }
+
+    #[test]
+    fn triples_across_interleaved_lines() {
+        // The H Z H triple on line 0 is interleaved with gates on line 1;
+        // per-line adjacency still finds and rewrites it.
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::t(1));
+        c.push(Gate::single(SingleOp::Z, 0));
+        c.push(Gate::tdg(1));
+        c.push(Gate::h(0));
+        let o = opt(&c);
+        assert!(circuits_equal(&c, &o));
+        // H Z H -> X and the T T† pair on line 1 cancels.
+        assert_eq!(o.gates(), &[Gate::x(0)]);
+    }
+
+    #[test]
+    fn hh_cx_hh_contracts_without_device() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        let o = opt(&c);
+        assert_eq!(o.gates(), &[Gate::cx(1, 0)]);
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn hh_cx_hh_respects_coupling_map() {
+        // Device only has 0 -> 1: reversing to CX(1,0) would be illegal.
+        let d = Device::from_coupling_map("d", 2, &[(0, &[1])]);
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        let o = optimize(&c, Some(&d), &TransmonCost::default());
+        for g in o.gates() {
+            if let Gate::Cx { control, target } = g {
+                assert!(d.has_coupling(*control, *target));
+            }
+        }
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn double_reversal_collapses_to_native() {
+        // Mapping artifacts often look like two reversals back to back;
+        // cancellation + contraction must reduce them to a single CNOT.
+        let mut c = Circuit::new(2);
+        for _ in 0..2 {
+            c.push(Gate::h(0));
+            c.push(Gate::h(1));
+            c.push(Gate::cx(0, 1));
+            c.push(Gate::h(0));
+            c.push(Gate::h(1));
+        }
+        c.push(Gate::cx(1, 0));
+        let o = opt(&c);
+        assert!(circuits_equal(&c, &o));
+        assert!(o.len() <= 3, "got {}", o.len());
+    }
+
+    #[test]
+    fn optimizer_never_raises_cost() {
+        let cost = TransmonCost::default();
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::t(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::tdg(0));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::h(2));
+        let o = opt(&c);
+        assert!(cost.circuit_cost(&o) <= cost.circuit_cost(&c));
+        assert!(circuits_equal(&c, &o));
+    }
+
+    #[test]
+    fn ablation_config_disables_families() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::t(0));
+        c.push(Gate::t(0));
+        let cfg = OptimizeConfig {
+            cancel_identities: true,
+            rewrite_identities: false,
+        };
+        let o = optimize_with(&c, None, &TransmonCost::default(), cfg);
+        assert_eq!(o.len(), 2, "fusion disabled leaves T T in place");
+    }
+
+    #[test]
+    fn preserves_name() {
+        let mut c = Circuit::new(1).with_name("keepme");
+        c.push(Gate::h(0));
+        c.push(Gate::h(0));
+        let o = opt(&c);
+        assert_eq!(o.name(), Some("keepme"));
+    }
+
+    #[test]
+    fn large_random_clifford_t_is_preserved() {
+        // Stress the tombstone buffer bookkeeping on a bigger circuit.
+        let mut c = Circuit::new(5);
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..400 {
+            match next() % 5 {
+                0 => c.push(Gate::t((next() % 5) as usize)),
+                1 => c.push(Gate::h((next() % 5) as usize)),
+                2 => c.push(Gate::tdg((next() % 5) as usize)),
+                3 => {
+                    let a = (next() % 5) as usize;
+                    let b = (next() % 5) as usize;
+                    if a != b {
+                        c.push(Gate::cx(a, b));
+                    }
+                }
+                _ => c.push(Gate::x((next() % 5) as usize)),
+            }
+        }
+        let o = opt(&c);
+        assert!(circuits_equal(&c, &o), "optimizer broke a random circuit");
+        assert!(o.len() <= c.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Product-term cubes of an exclusive-OR sum of products.
+
+use std::fmt;
+
+/// A product term over at most 32 variables.
+///
+/// A variable participates in the cube when its bit is set in `care`; its
+/// literal is positive when the corresponding bit in `polarity` is set and
+/// negative otherwise. Variable `v` maps to bit `v` (so bit 0 is variable 0,
+/// the top circuit line).
+///
+/// # Examples
+///
+/// ```
+/// use qsyn_esop::Cube;
+/// // x0 AND (NOT x2)
+/// let c = Cube::new(0b101, 0b001);
+/// assert!(c.eval(0b001)); // x0=1, x2=0  (bit v = variable v)
+/// assert!(!c.eval(0b101));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    /// Bit set of participating variables.
+    pub care: u32,
+    /// Polarity bits for participating variables (1 = positive literal).
+    pub polarity: u32,
+}
+
+impl Cube {
+    /// Creates a cube, masking polarity down to the care set.
+    pub fn new(care: u32, polarity: u32) -> Self {
+        Cube {
+            care,
+            polarity: polarity & care,
+        }
+    }
+
+    /// The empty product (constant one).
+    pub const TAUTOLOGY: Cube = Cube {
+        care: 0,
+        polarity: 0,
+    };
+
+    /// Number of literals.
+    pub fn literal_count(self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Evaluates the product on an assignment given as a bit set
+    /// (bit `v` = value of variable `v`).
+    pub fn eval(self, assignment: u32) -> bool {
+        assignment & self.care == self.polarity
+    }
+
+    /// Participating variables, ascending.
+    pub fn variables(self) -> impl Iterator<Item = usize> {
+        let care = self.care;
+        (0..32usize).filter(move |v| care >> v & 1 == 1)
+    }
+
+    /// Variables with a positive literal, ascending.
+    pub fn positive_variables(self) -> impl Iterator<Item = usize> {
+        let bits = self.care & self.polarity;
+        (0..32usize).filter(move |v| bits >> v & 1 == 1)
+    }
+
+    /// Variables with a negative literal, ascending.
+    pub fn negative_variables(self) -> impl Iterator<Item = usize> {
+        let bits = self.care & !self.polarity;
+        (0..32usize).filter(move |v| bits >> v & 1 == 1)
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.care == 0 {
+            return f.write_str("1");
+        }
+        let mut first = true;
+        for v in self.variables() {
+            if !first {
+                f.write_str("·")?;
+            }
+            first = false;
+            if self.polarity >> v & 1 == 1 {
+                write!(f, "x{v}")?;
+            } else {
+                write!(f, "!x{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_checks_polarity() {
+        let c = Cube::new(0b011, 0b001); // x0 AND !x1
+        assert!(c.eval(0b001));
+        assert!(c.eval(0b101)); // x2 irrelevant
+        assert!(!c.eval(0b011));
+        assert!(!c.eval(0b000));
+    }
+
+    #[test]
+    fn tautology_accepts_everything() {
+        for a in 0..8 {
+            assert!(Cube::TAUTOLOGY.eval(a));
+        }
+        assert_eq!(Cube::TAUTOLOGY.literal_count(), 0);
+    }
+
+    #[test]
+    fn polarity_masked_to_care() {
+        let c = Cube::new(0b01, 0b11);
+        assert_eq!(c.polarity, 0b01);
+    }
+
+    #[test]
+    fn variable_iterators() {
+        let c = Cube::new(0b1011, 0b0001);
+        assert_eq!(c.variables().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(c.positive_variables().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(c.negative_variables().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cube::TAUTOLOGY.to_string(), "1");
+        assert_eq!(Cube::new(0b101, 0b001).to_string(), "x0·!x2");
+    }
+}

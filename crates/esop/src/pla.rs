@@ -1,0 +1,281 @@
+//! Berkeley PLA front-end for multi-output classical specifications
+//! (the "various file formats" entry point of the paper's Fig. 2).
+//!
+//! Supported subset:
+//!
+//! ```text
+//! .i 3          # inputs
+//! .o 2          # outputs
+//! .p 4          # cube count (optional, informational)
+//! .type fd      # 'fd' (OR cover, the espresso default) or 'esop'
+//! 110 10        # input literals: 1 positive, 0 negative, - absent
+//! 1-0 01        # output plane: 1 participates, 0/- does not
+//! .e
+//! ```
+//!
+//! `fd` planes are OR-covers and are converted to truth tables before
+//! ESOP extraction; `esop` planes XOR their cubes directly.
+
+use crate::cube::Cube;
+use crate::esop::Esop;
+use crate::truth_table::TruthTable;
+use qsyn_circuit::Circuit;
+
+/// A parsed PLA specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pla {
+    n_inputs: usize,
+    n_outputs: usize,
+    xor_semantics: bool,
+    rows: Vec<(Cube, Vec<bool>)>,
+}
+
+impl Pla {
+    /// Number of input variables.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Whether the plane uses XOR (`.type esop`) instead of OR semantics.
+    pub fn is_esop(&self) -> bool {
+        self.xor_semantics
+    }
+
+    /// The truth table of output `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_outputs`.
+    pub fn output_table(&self, k: usize) -> TruthTable {
+        assert!(k < self.n_outputs, "output index out of range");
+        TruthTable::from_fn(self.n_inputs, |row| {
+            let assignment = crate::esop::row_to_assignment(row, self.n_inputs);
+            let mut acc = false;
+            for (cube, outs) in &self.rows {
+                if outs[k] && cube.eval(assignment) {
+                    if self.xor_semantics {
+                        acc = !acc;
+                    } else {
+                        return true;
+                    }
+                }
+            }
+            acc
+        })
+    }
+
+    /// A minimized ESOP for output `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_outputs`.
+    pub fn output_esop(&self, k: usize) -> Esop {
+        Esop::minimized(&self.output_table(k))
+    }
+
+    /// Synthesizes the whole PLA as a reversible multi-output cascade:
+    /// inputs on lines `0 .. n_inputs`, output `k` XOR-accumulated on line
+    /// `n_inputs + k`.
+    pub fn synthesize(&self) -> Circuit {
+        let tables: Vec<TruthTable> = (0..self.n_outputs).map(|k| self.output_table(k)).collect();
+        crate::cascade::synthesize_multi_output(&tables).with_name("pla")
+    }
+}
+
+/// Parses PLA source.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line for malformed
+/// headers, inconsistent row widths, or unknown characters.
+pub fn parse_pla(src: &str) -> Result<Pla, String> {
+    let mut n_inputs: Option<usize> = None;
+    let mut n_outputs: Option<usize> = None;
+    let mut xor_semantics = false;
+    let mut rows = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut toks = rest.split_whitespace();
+            match toks.next() {
+                Some("i") => {
+                    n_inputs = Some(
+                        toks.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&v: &usize| (1..=20).contains(&v))
+                            .ok_or(format!("line {lineno}: bad .i (1..=20 supported)"))?,
+                    )
+                }
+                Some("o") => {
+                    n_outputs = Some(
+                        toks.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&v: &usize| v >= 1)
+                            .ok_or(format!("line {lineno}: bad .o"))?,
+                    )
+                }
+                Some("type") => match toks.next() {
+                    Some("esop") => xor_semantics = true,
+                    Some("fd") | Some("f") => xor_semantics = false,
+                    other => return Err(format!("line {lineno}: unsupported .type {other:?}")),
+                },
+                Some("p") | Some("ilb") | Some("ob") => {}
+                Some("e") | Some("end") => break,
+                other => return Err(format!("line {lineno}: unknown directive .{other:?}")),
+            }
+            continue;
+        }
+        // Cube row.
+        let ni = n_inputs.ok_or(format!("line {lineno}: cube before .i"))?;
+        let no = n_outputs.ok_or(format!("line {lineno}: cube before .o"))?;
+        let mut parts = line.split_whitespace();
+        let (inp, outp) = match (parts.next(), parts.next()) {
+            (Some(i), Some(o)) => (i, o),
+            _ => return Err(format!("line {lineno}: expected `<inputs> <outputs>`")),
+        };
+        if inp.len() != ni || outp.len() != no {
+            return Err(format!(
+                "line {lineno}: row width mismatch (want {ni}+{no} columns)"
+            ));
+        }
+        let mut care = 0u32;
+        let mut polarity = 0u32;
+        for (v, ch) in inp.chars().enumerate() {
+            match ch {
+                '1' => {
+                    care |= 1 << v;
+                    polarity |= 1 << v;
+                }
+                '0' => care |= 1 << v,
+                '-' | '2' => {}
+                other => return Err(format!("line {lineno}: bad input literal `{other}`")),
+            }
+        }
+        let outs: Vec<bool> = outp
+            .chars()
+            .map(|ch| match ch {
+                '1' | '4' => Ok(true),
+                '0' | '-' | '~' | '2' => Ok(false),
+                other => Err(format!("line {lineno}: bad output literal `{other}`")),
+            })
+            .collect::<Result<_, _>>()?;
+        rows.push((Cube::new(care, polarity), outs));
+    }
+
+    Ok(Pla {
+        n_inputs: n_inputs.ok_or("missing .i")?,
+        n_outputs: n_outputs.ok_or("missing .o")?,
+        xor_semantics,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XOR_AND: &str = "\
+.i 2
+.o 2
+.p 2
+10 01
+01 01
+11 10
+.e
+";
+
+    #[test]
+    fn parses_header_and_rows() {
+        let pla = parse_pla(XOR_AND).unwrap();
+        assert_eq!(pla.n_inputs(), 2);
+        assert_eq!(pla.n_outputs(), 2);
+        assert!(!pla.is_esop());
+    }
+
+    #[test]
+    fn or_semantics_cover() {
+        let pla = parse_pla(XOR_AND).unwrap();
+        // Output 1 covers rows x0!x1 and !x0x1: the XOR function under OR
+        // semantics (the cubes are disjoint).
+        let xor = pla.output_table(1);
+        assert!(xor.eval(0b01) && xor.eval(0b10));
+        assert!(!xor.eval(0b00) && !xor.eval(0b11));
+        // Output 0: AND.
+        let and = pla.output_table(0);
+        assert!(and.eval(0b11));
+        assert_eq!(and.popcount(), 1);
+    }
+
+    #[test]
+    fn esop_semantics_xor_cubes() {
+        // Overlapping cubes: `1-` XOR `-1` = x0 XOR x1.
+        let src = ".i 2\n.o 1\n.type esop\n1- 1\n-1 1\n.e\n";
+        let pla = parse_pla(src).unwrap();
+        assert!(pla.is_esop());
+        let t = pla.output_table(0);
+        assert!(t.eval(0b01) && t.eval(0b10));
+        assert!(!t.eval(0b00) && !t.eval(0b11));
+        // Under OR semantics the same plane is x0 OR x1.
+        let or_src = ".i 2\n.o 1\n1- 1\n-1 1\n.e\n";
+        let or_pla = parse_pla(or_src).unwrap();
+        assert!(or_pla.output_table(0).eval(0b11));
+    }
+
+    #[test]
+    fn dont_care_inputs() {
+        let src = ".i 3\n.o 1\n1-0 1\n.e\n";
+        let pla = parse_pla(src).unwrap();
+        let t = pla.output_table(0);
+        // x0=1, x2=0, x1 free.
+        assert!(t.eval(0b100) && t.eval(0b110));
+        assert!(!t.eval(0b101) && !t.eval(0b000));
+    }
+
+    #[test]
+    fn synthesize_multi_output_pla() {
+        let pla = parse_pla(XOR_AND).unwrap();
+        let c = pla.synthesize();
+        assert_eq!(c.n_qubits(), 4);
+        for x in 0..4u64 {
+            let out = c.permute_basis(x << 2);
+            let and = pla.output_table(0).eval(x) as u64;
+            let xor = pla.output_table(1).eval(x) as u64;
+            assert_eq!(out, x << 2 | and << 1 | xor);
+        }
+    }
+
+    #[test]
+    fn output_esop_is_minimized_and_correct() {
+        let pla = parse_pla(XOR_AND).unwrap();
+        let e = pla.output_esop(1);
+        assert_eq!(e.cube_count(), 2);
+        assert_eq!(e.truth_table(), pla.output_table(1));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_pla("10 1\n").is_err()); // cube before headers
+        assert!(parse_pla(".i 2\n.o 1\n1 1\n").is_err()); // width
+        assert!(parse_pla(".i 2\n.o 1\nxy 1\n").is_err()); // bad literal
+        assert!(parse_pla(".i 2\n.o 1\n.type foo\n").is_err()); // bad type
+        assert!(parse_pla(".i 99\n.o 1\n").is_err()); // too wide
+        assert!(parse_pla(".o 1\n").is_err()); // missing .i
+    }
+
+    #[test]
+    fn comments_and_e_marker() {
+        let src = "# header\n.i 1\n.o 1\n1 1 # cube\n.e\nGARBAGE AFTER END\n";
+        let pla = parse_pla(src).unwrap();
+        assert!(pla.output_table(0).eval(1));
+    }
+}

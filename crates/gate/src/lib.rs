@@ -1,0 +1,29 @@
+//! Quantum gate primitives: complex arithmetic, dense unitaries, and the
+//! technology gate library of Table 1 of Smith & Thornton (ISCA 2019).
+//!
+//! This crate is the numeric foundation of the `qsyn` workspace. It defines
+//! the [`C64`] complex scalar, dense [`Matrix`] reference semantics, and the
+//! [`Gate`] instruction vocabulary shared by the circuit IR, the QMDD
+//! verifier, and the compiler back-end.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsyn_gate::{Gate, Matrix};
+//!
+//! // A SWAP is three CNOTs (paper Fig. 3).
+//! let swap = Gate::swap(0, 1).to_matrix(2);
+//! let cx01 = Gate::cx(0, 1).to_matrix(2);
+//! let cx10 = Gate::cx(1, 0).to_matrix(2);
+//! assert!(swap.approx_eq(&cx01.mul(&cx10.mul(&cx01))));
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+mod gate;
+mod matrix;
+
+pub use complex::{C64, EPSILON};
+pub use gate::{fuse, Fusion, Gate, SingleOp, SINGLE_OPS};
+pub use matrix::{equal_up_to_phase, Matrix};

@@ -1,0 +1,96 @@
+//! A small, fast, non-cryptographic hasher for the QMDD unique and compute
+//! tables.
+//!
+//! The default `SipHash` is needlessly slow for the hot hash-consing path of
+//! the decision-diagram package; this is the classic Fx multiply-xor mix
+//! (as used by rustc), implemented locally to keep the workspace free of
+//! external dependencies.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; not DoS-resistant, which is fine for internal
+/// compiler tables keyed by dense integer tuples.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        let mut a = FxHasher::default();
+        a.write_u64(1);
+        let mut b = FxHasher::default();
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 7)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn write_bytes_consistent() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world");
+        let mut b = FxHasher::default();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

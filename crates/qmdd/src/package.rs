@@ -1,0 +1,993 @@
+//! The QMDD package: hash-consed nodes, cached arithmetic, and circuit
+//! construction.
+//!
+//! A QMDD (Miller & Thornton 2006) represents a `2^n x 2^n` complex matrix
+//! as a directed acyclic graph. Each non-terminal vertex stands for one
+//! qubit variable and has four outgoing edges for the four quadrants
+//! `U00, U01, U10, U11` of the matrix at that level (paper Fig. 1). With a
+//! fixed variable order and normalized edge weights the representation is
+//! canonical: two circuits have the same matrix if and only if their QMDD
+//! root edges are identical, which is how the compiler performs formal
+//! verification.
+//!
+//! This implementation uses the *quasi-reduced* form (every non-zero path
+//! visits every variable) so that level bookkeeping stays trivial; zero
+//! matrices are the sole early-terminating edges.
+
+use crate::ctable::{WeightId, WeightTable, W_NEG_ONE, W_ONE, W_ZERO};
+use crate::fxhash::FxHashMap;
+use qsyn_circuit::Circuit;
+use qsyn_gate::{C64, Gate, Matrix};
+
+/// Index of a node in the package arena. `0` is the terminal.
+pub type NodeId = u32;
+
+/// The terminal vertex id.
+pub const TERMINAL: NodeId = 0;
+
+/// A weighted edge into the diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Destination node.
+    pub node: NodeId,
+    /// Interned complex weight multiplying the whole sub-diagram.
+    pub weight: WeightId,
+}
+
+impl Edge {
+    /// The edge representing the zero matrix.
+    pub const ZERO: Edge = Edge {
+        node: TERMINAL,
+        weight: W_ZERO,
+    };
+
+    /// The terminal edge with weight one (the scalar `1`).
+    pub const ONE: Edge = Edge {
+        node: TERMINAL,
+        weight: W_ONE,
+    };
+
+    /// Whether this edge denotes the zero matrix.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight == W_ZERO
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    edges: [Edge; 4],
+}
+
+/// A 2x2 complex matrix used when assembling gate diagrams.
+pub type M2 = [[C64; 2]; 2];
+
+const IDENT2: M2 = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+const PROJ1: M2 = [[C64::ZERO, C64::ZERO], [C64::ZERO, C64::ONE]];
+
+/// The QMDD package for diagrams over a fixed number of qubit variables.
+///
+/// Variable `0` is the top-most qubit (most significant basis bit),
+/// matching the `x0 -> x1 -> ...` order of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use qsyn_qmdd::Qmdd;
+/// use qsyn_circuit::Circuit;
+/// use qsyn_gate::Gate;
+///
+/// let mut a = Circuit::new(2);
+/// a.push(Gate::swap(0, 1));
+/// let mut b = Circuit::new(2);
+/// b.push(Gate::cx(0, 1));
+/// b.push(Gate::cx(1, 0));
+/// b.push(Gate::cx(0, 1));
+///
+/// let mut pkg = Qmdd::new(2);
+/// let ea = pkg.circuit(&a);
+/// let eb = pkg.circuit(&b);
+/// assert_eq!(ea, eb); // canonical: pointer equality is matrix equality
+/// ```
+#[derive(Debug)]
+pub struct Qmdd {
+    n: usize,
+    nodes: Vec<Node>,
+    unique: FxHashMap<(u32, [Edge; 4]), NodeId>,
+    weights: WeightTable,
+    add_cache: FxHashMap<(NodeId, NodeId, WeightId), Edge>,
+    mul_cache: FxHashMap<(NodeId, NodeId), Edge>,
+    adj_cache: FxHashMap<NodeId, Edge>,
+    peak_nodes: usize,
+    gc_threshold: usize,
+}
+
+impl Qmdd {
+    /// Creates a package for diagrams over `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Qmdd {
+            n,
+            nodes: vec![Node {
+                var: u32::MAX,
+                edges: [Edge::ZERO; 4],
+            }],
+            unique: FxHashMap::default(),
+            weights: WeightTable::new(),
+            add_cache: FxHashMap::default(),
+            mul_cache: FxHashMap::default(),
+            adj_cache: FxHashMap::default(),
+            peak_nodes: 1,
+            gc_threshold: 1 << 22,
+        }
+    }
+
+    /// Number of qubit variables.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Current number of allocated nodes (including the terminal).
+    pub fn node_count_total(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Largest arena size observed so far.
+    pub fn peak_node_count(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Interns a raw complex value as a weight id.
+    pub fn intern_weight(&mut self, v: C64) -> WeightId {
+        self.weights.intern(v)
+    }
+
+    /// Sets the arena size at which [`Qmdd::maybe_gc`] triggers a
+    /// compacting collection (tuning/testing hook; the default is large
+    /// enough that small workloads never collect).
+    pub fn set_gc_threshold(&mut self, nodes: usize) {
+        self.gc_threshold = nodes.max(2);
+    }
+
+    /// The canonical complex value of a weight id.
+    pub fn weight_value(&self, id: WeightId) -> C64 {
+        self.weights.value(id)
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Variable index of an edge's destination (`u32::MAX` for terminal).
+    pub fn var_of(&self, e: Edge) -> u32 {
+        self.node(e.node).var
+    }
+
+    /// The four outgoing edges of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` points at the terminal.
+    pub fn children(&self, e: Edge) -> [Edge; 4] {
+        assert_ne!(e.node, TERMINAL, "terminal has no children");
+        self.node(e.node).edges
+    }
+
+    /// Creates (or finds) the normalized node `(var; edges)` and returns a
+    /// weighted edge to it.
+    pub fn make_node(&mut self, var: u32, mut edges: [Edge; 4]) -> Edge {
+        // Zero-weight edges must be the canonical zero edge.
+        for e in &mut edges {
+            if e.weight == W_ZERO {
+                *e = Edge::ZERO;
+            }
+        }
+        // Normalize: divide by the entry of maximal magnitude (ties broken
+        // toward the smallest index) so that entry becomes exactly one.
+        let mut max_abs = 0.0f64;
+        for e in &edges {
+            let a = self.weights.value(e.weight).abs();
+            if a > max_abs {
+                max_abs = a;
+            }
+        }
+        if max_abs == 0.0 {
+            return Edge::ZERO;
+        }
+        let mut idx = 0usize;
+        for (i, e) in edges.iter().enumerate() {
+            let a = self.weights.value(e.weight).abs();
+            if a >= max_abs - 1e-9 * max_abs {
+                idx = i;
+                break;
+            }
+        }
+        let norm = edges[idx].weight;
+        for e in &mut edges {
+            e.weight = self.weights.div(e.weight, norm);
+        }
+        let id = match self.unique.get(&(var, edges)) {
+            Some(&id) => id,
+            None => {
+                let id = self.nodes.len() as NodeId;
+                self.nodes.push(Node { var, edges });
+                self.unique.insert((var, edges), id);
+                self.peak_nodes = self.peak_nodes.max(self.nodes.len());
+                id
+            }
+        };
+        Edge { node: id, weight: norm }
+    }
+
+    /// Scales an edge by an interned weight.
+    pub fn scale(&mut self, e: Edge, w: WeightId) -> Edge {
+        if e.is_zero() || w == W_ZERO {
+            return Edge::ZERO;
+        }
+        Edge {
+            node: e.node,
+            weight: self.weights.mul(e.weight, w),
+        }
+    }
+
+    /// Pointwise matrix sum of two diagrams.
+    pub fn add(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == TERMINAL && b.node == TERMINAL {
+            return Edge {
+                node: TERMINAL,
+                weight: self.weights.add(a.weight, b.weight),
+            };
+        }
+        debug_assert_eq!(
+            self.var_of(a),
+            self.var_of(b),
+            "quasi-reduced diagrams must align"
+        );
+        // Canonicalize the operand order (addition commutes) and factor the
+        // first weight out so the cache is weight-normalized.
+        let (a, b) = if (b.node, b.weight) < (a.node, a.weight) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        let rel = self.weights.div(b.weight, a.weight);
+        if let Some(&hit) = self.add_cache.get(&(a.node, b.node, rel)) {
+            return self.scale(hit, a.weight);
+        }
+        let na = *self.node(a.node);
+        let nb = *self.node(b.node);
+        let mut edges = [Edge::ZERO; 4];
+        for (i, slot) in edges.iter_mut().enumerate() {
+            let eb = self.scale(nb.edges[i], rel);
+            *slot = self.add(na.edges[i], eb);
+        }
+        let result = self.make_node(na.var, edges);
+        self.add_cache.insert((a.node, b.node, rel), result);
+        self.scale(result, a.weight)
+    }
+
+    /// Matrix product `a * b` of two diagrams.
+    pub fn mul(&mut self, a: Edge, b: Edge) -> Edge {
+        if a.is_zero() || b.is_zero() {
+            return Edge::ZERO;
+        }
+        if a.node == TERMINAL && b.node == TERMINAL {
+            return Edge {
+                node: TERMINAL,
+                weight: self.weights.mul(a.weight, b.weight),
+            };
+        }
+        debug_assert_eq!(self.var_of(a), self.var_of(b));
+        let w = self.weights.mul(a.weight, b.weight);
+        if let Some(&hit) = self.mul_cache.get(&(a.node, b.node)) {
+            return self.scale(hit, w);
+        }
+        let na = *self.node(a.node);
+        let nb = *self.node(b.node);
+        let mut edges = [Edge::ZERO; 4];
+        for r in 0..2usize {
+            for c in 0..2usize {
+                // (A*B)_{rc} = A_{r0} B_{0c} + A_{r1} B_{1c}
+                let t0 = self.mul(na.edges[2 * r], nb.edges[c]);
+                let t1 = self.mul(na.edges[2 * r + 1], nb.edges[2 + c]);
+                edges[2 * r + c] = self.add(t0, t1);
+            }
+        }
+        let result = self.make_node(na.var, edges);
+        self.mul_cache.insert((a.node, b.node), result);
+        self.scale(result, w)
+    }
+
+    /// Conjugate transpose of a diagram (memoized; linear in the diagram
+    /// size).
+    pub fn adjoint(&mut self, e: Edge) -> Edge {
+        if e.is_zero() {
+            return Edge::ZERO;
+        }
+        if e.node == TERMINAL {
+            return Edge {
+                node: TERMINAL,
+                weight: self.weights.conj(e.weight),
+            };
+        }
+        let sub = if let Some(&hit) = self.adj_cache.get(&e.node) {
+            hit
+        } else {
+            let n = *self.node(e.node);
+            let e00 = self.adjoint(n.edges[0]);
+            let e01 = self.adjoint(n.edges[2]); // transpose swaps 01 and 10
+            let e10 = self.adjoint(n.edges[1]);
+            let e11 = self.adjoint(n.edges[3]);
+            let s = self.make_node(n.var, [e00, e01, e10, e11]);
+            self.adj_cache.insert(e.node, s);
+            s
+        };
+        let w = self.weights.conj(e.weight);
+        self.scale(sub, w)
+    }
+
+    /// Diagram of a tensor product: `factor(l)` gives the 2x2 matrix at
+    /// level `l`; identity factors are expressed as identity matrices.
+    pub fn tensor(&mut self, factor: impl Fn(usize) -> M2) -> Edge {
+        let mut e = Edge::ONE;
+        for l in (0..self.n).rev() {
+            let m = factor(l);
+            let mut edges = [Edge::ZERO; 4];
+            for r in 0..2usize {
+                for c in 0..2usize {
+                    let v = m[r][c];
+                    if !v.is_zero() {
+                        let w = self.weights.intern(v);
+                        edges[2 * r + c] = self.scale(e, w);
+                    }
+                }
+            }
+            e = self.make_node(l as u32, edges);
+        }
+        e
+    }
+
+    /// The identity diagram.
+    pub fn identity(&mut self) -> Edge {
+        self.tensor(|_| IDENT2)
+    }
+
+    /// Diagram of a one-qubit gate `u` acting on `qubit`.
+    pub fn single(&mut self, qubit: usize, u: M2) -> Edge {
+        assert!(qubit < self.n, "qubit out of range");
+        self.tensor(|l| if l == qubit { u } else { IDENT2 })
+    }
+
+    /// Diagram of `u` on `target` controlled on every qubit in `controls`
+    /// being |1>.
+    ///
+    /// Uses the tensor decomposition
+    /// `gate = I - P + (P with U at the target)`, where `P` projects onto
+    /// all-controls-one; both summands are plain tensor products, so the
+    /// construction is linear in the number of qubits regardless of how the
+    /// controls and target interleave.
+    pub fn controlled(&mut self, controls: &[usize], target: usize, u: M2) -> Edge {
+        assert!(target < self.n, "target out of range");
+        if controls.is_empty() {
+            return self.single(target, u);
+        }
+        let proj = self.tensor(|l| if controls.contains(&l) { PROJ1 } else { IDENT2 });
+        let act = self.tensor(|l| {
+            if controls.contains(&l) {
+                PROJ1
+            } else if l == target {
+                u
+            } else {
+                IDENT2
+            }
+        });
+        let id = self.identity();
+        let neg_proj = self.scale(proj, W_NEG_ONE);
+        let partial = self.add(id, neg_proj);
+        self.add(partial, act)
+    }
+
+    /// Diagram of an arbitrary [`Gate`].
+    pub fn gate(&mut self, g: &Gate) -> Edge {
+        match g {
+            Gate::Single { op, qubit } => {
+                let m = op.matrix();
+                let u = [[m[(0, 0)], m[(0, 1)]], [m[(1, 0)], m[(1, 1)]]];
+                self.single(*qubit, u)
+            }
+            Gate::Cx { control, target } => {
+                let x = x_matrix();
+                self.controlled(&[*control], *target, x)
+            }
+            Gate::Cz { control, target } => {
+                let z = [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::ONE]];
+                self.controlled(&[*control], *target, z)
+            }
+            Gate::Swap { a, b } => {
+                let x = x_matrix();
+                let c1 = self.controlled(&[*a], *b, x);
+                let c2 = self.controlled(&[*b], *a, x);
+                let p = self.mul(c2, c1);
+                self.mul(c1, p)
+            }
+            Gate::Mct { controls, target } => {
+                let x = x_matrix();
+                self.controlled(controls, *target, x)
+            }
+        }
+    }
+
+    /// Diagram of a whole circuit (the product of its gate matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the package.
+    pub fn circuit(&mut self, c: &Circuit) -> Edge {
+        assert!(c.n_qubits() <= self.n, "circuit wider than package");
+        let mut acc = self.identity();
+        for g in c.gates() {
+            let ge = self.gate(g);
+            acc = self.mul(ge, acc);
+            acc = self.maybe_gc(acc);
+        }
+        acc
+    }
+
+    /// Triggers a compacting collection when the arena exceeds the GC
+    /// threshold; returns the (possibly relocated) root.
+    pub fn maybe_gc(&mut self, root: Edge) -> Edge {
+        if self.nodes.len() < self.gc_threshold {
+            return root;
+        }
+        let mut roots = [root];
+        self.compact(&mut roots);
+        self.gc_threshold = (self.nodes.len() * 4).max(1 << 22);
+        roots[0]
+    }
+
+    /// Compacts the arena, keeping only nodes reachable from `roots`, and
+    /// rewrites the roots in place. Clears the operation caches.
+    pub fn compact(&mut self, roots: &mut [Edge]) {
+        let mut map: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        map.insert(TERMINAL, TERMINAL);
+        let mut new_nodes = vec![Node {
+            var: u32::MAX,
+            edges: [Edge::ZERO; 4],
+        }];
+        // Iterative DFS copy.
+        for root in roots.iter_mut() {
+            let mut stack = vec![root.node];
+            while let Some(id) = stack.pop() {
+                if map.contains_key(&id) {
+                    continue;
+                }
+                let node = self.nodes[id as usize];
+                let pending: Vec<NodeId> = node
+                    .edges
+                    .iter()
+                    .map(|e| e.node)
+                    .filter(|n| !map.contains_key(n))
+                    .collect();
+                if pending.is_empty() {
+                    let mut edges = node.edges;
+                    for e in &mut edges {
+                        e.node = map[&e.node];
+                    }
+                    let new_id = new_nodes.len() as NodeId;
+                    new_nodes.push(Node {
+                        var: node.var,
+                        edges,
+                    });
+                    map.insert(id, new_id);
+                } else {
+                    stack.push(id);
+                    stack.extend(pending);
+                }
+            }
+            root.node = map[&root.node];
+        }
+        self.nodes = new_nodes;
+        self.unique = self
+            .nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, n)| ((n.var, n.edges), i as NodeId))
+            .collect();
+        self.add_cache.clear();
+        self.mul_cache.clear();
+        self.adj_cache.clear();
+    }
+
+    /// Per-level node counts of a diagram: entry `l` is the number of
+    /// distinct nodes at variable level `l` reachable from `e`. A
+    /// compactness profile for diagnosing where a diagram grows.
+    pub fn node_profile(&self, e: Edge) -> Vec<usize> {
+        let mut profile = vec![0usize; self.n];
+        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut stack = vec![e.node];
+        while let Some(id) = stack.pop() {
+            if id == TERMINAL || !seen.insert(id) {
+                continue;
+            }
+            profile[self.node(id).var as usize] += 1;
+            for ch in self.node(id).edges {
+                stack.push(ch.node);
+            }
+        }
+        profile
+    }
+
+    /// Number of distinct non-terminal nodes reachable from `e`.
+    pub fn node_count(&self, e: Edge) -> usize {
+        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut stack = vec![e.node];
+        while let Some(id) = stack.pop() {
+            if id == TERMINAL || !seen.insert(id) {
+                continue;
+            }
+            for ch in self.node(id).edges {
+                stack.push(ch.node);
+            }
+        }
+        seen.len()
+    }
+
+    /// The non-zero entries of one column of the represented matrix: the
+    /// amplitudes of `U |input>` as `(row, amplitude)` pairs, sorted by
+    /// row.
+    ///
+    /// Runs in time proportional to the number of non-zero output
+    /// amplitudes (one, for the permutation matrices of classical
+    /// reversible circuits — which makes this a practical functional
+    /// spot-check even on a 96-qubit register where dense expansion is
+    /// impossible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= 2^n`.
+    pub fn basis_column(&self, e: Edge, input: u128) -> Vec<(u128, C64)> {
+        assert!(self.n <= 128, "basis_column supports at most 128 qubits");
+        assert!(
+            self.n >= 128 || input < (1u128 << self.n),
+            "basis state out of range"
+        );
+        let mut out = Vec::new();
+        self.column_walk(e, input, 0, 0, C64::ONE, &mut out);
+        out.sort_by_key(|(row, _)| *row);
+        out
+    }
+
+    fn column_walk(
+        &self,
+        e: Edge,
+        input: u128,
+        var: usize,
+        row: u128,
+        acc: C64,
+        out: &mut Vec<(u128, C64)>,
+    ) {
+        if e.is_zero() {
+            return;
+        }
+        let w = acc * self.weights.value(e.weight);
+        if e.node == TERMINAL {
+            out.push((row, w));
+            return;
+        }
+        let col_bit = (input >> (self.n - 1 - var)) & 1;
+        let node = self.node(e.node);
+        for r in 0..2u128 {
+            self.column_walk(
+                node.edges[(2 * r + col_bit) as usize],
+                input,
+                var + 1,
+                row << 1 | r,
+                w,
+                out,
+            );
+        }
+    }
+
+    /// The trace of the represented matrix, computed on the diagram
+    /// (linear in the diagram size, so it works at any register width).
+    pub fn trace(&self, e: Edge) -> C64 {
+        let mut memo: crate::fxhash::FxHashMap<NodeId, C64> = crate::fxhash::FxHashMap::default();
+        self.trace_rec(e, self.n as u32, &mut memo)
+    }
+
+    fn trace_rec(
+        &self,
+        e: Edge,
+        levels_below: u32,
+        memo: &mut crate::fxhash::FxHashMap<NodeId, C64>,
+    ) -> C64 {
+        if e.is_zero() {
+            return C64::ZERO;
+        }
+        let w = self.weights.value(e.weight);
+        if e.node == TERMINAL {
+            // A scalar standing for an identity-weighted block: each of
+            // the remaining levels doubles the diagonal sum only when the
+            // edge skipped levels — in quasi-reduced form a non-zero
+            // terminal edge sits at the bottom, so levels_below is 0.
+            debug_assert_eq!(levels_below, 0, "quasi-reduced form");
+            return w;
+        }
+        let node = self.node(e.node);
+        let sub = if let Some(&hit) = memo.get(&e.node) {
+            hit
+        } else {
+            let t0 = self.trace_rec(node.edges[0], levels_below - 1, memo);
+            let t1 = self.trace_rec(node.edges[3], levels_below - 1, memo);
+            let s = t0 + t1;
+            memo.insert(e.node, s);
+            s
+        };
+        w * sub
+    }
+
+    /// Expands a diagram to a dense matrix (tests and small circuits only).
+    pub fn to_matrix(&self, e: Edge) -> Matrix {
+        let dim = 1usize << self.n;
+        let mut m = Matrix::zeros(dim);
+        self.fill(e, 0, 0, 0, C64::ONE, &mut m);
+        m
+    }
+
+    fn fill(&self, e: Edge, var: usize, row: usize, col: usize, acc: C64, m: &mut Matrix) {
+        if e.is_zero() {
+            return;
+        }
+        let w = acc * self.weights.value(e.weight);
+        if e.node == TERMINAL {
+            debug_assert_eq!(var, self.n, "nonzero terminal edge above bottom");
+            m[(row, col)] += w;
+            return;
+        }
+        let node = self.node(e.node);
+        for r in 0..2usize {
+            for c in 0..2usize {
+                self.fill(
+                    node.edges[2 * r + c],
+                    var + 1,
+                    row << 1 | r,
+                    col << 1 | c,
+                    w,
+                    m,
+                );
+            }
+        }
+    }
+}
+
+fn x_matrix() -> M2 {
+    [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_gate::SingleOp;
+
+    fn check_gate_matches_dense(g: Gate, n: usize) {
+        let mut pkg = Qmdd::new(n);
+        let e = pkg.gate(&g);
+        let dd = pkg.to_matrix(e);
+        let dense = g.to_matrix(n);
+        assert!(dd.approx_eq(&dense), "gate {g} mismatch\nDD:\n{dd}\ndense:\n{dense}");
+    }
+
+    #[test]
+    fn single_qubit_gates_match_dense() {
+        for op in qsyn_gate::SINGLE_OPS {
+            for q in 0..3 {
+                check_gate_matches_dense(Gate::single(op, q), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_both_orientations_match_dense() {
+        check_gate_matches_dense(Gate::cx(0, 1), 2);
+        check_gate_matches_dense(Gate::cx(1, 0), 2);
+        check_gate_matches_dense(Gate::cx(0, 2), 3);
+        check_gate_matches_dense(Gate::cx(2, 0), 3);
+    }
+
+    #[test]
+    fn control_below_target_works() {
+        // The tensor-sum construction must not care about level order.
+        check_gate_matches_dense(Gate::cx(2, 0), 4);
+        check_gate_matches_dense(Gate::mct(vec![1, 3], 0), 4);
+        check_gate_matches_dense(Gate::mct(vec![0, 3], 1), 4);
+    }
+
+    #[test]
+    fn cz_swap_toffoli_match_dense() {
+        check_gate_matches_dense(Gate::cz(0, 1), 2);
+        check_gate_matches_dense(Gate::cz(1, 0), 3);
+        check_gate_matches_dense(Gate::swap(0, 1), 2);
+        check_gate_matches_dense(Gate::swap(0, 2), 3);
+        check_gate_matches_dense(Gate::toffoli(0, 1, 2), 3);
+        check_gate_matches_dense(Gate::toffoli(1, 2, 0), 3);
+        check_gate_matches_dense(Gate::mct(vec![0, 1, 2], 3), 4);
+    }
+
+    #[test]
+    fn fig1_cnot_qmdd_structure() {
+        // Paper Fig. 1: CNOT with control x0, target x1 has a root whose
+        // U01 and U10 quadrants are zero, U00 is the identity sub-matrix,
+        // and U11 is the X sub-matrix; three non-terminal vertices total.
+        let mut pkg = Qmdd::new(2);
+        let e = pkg.gate(&Gate::cx(0, 1));
+        assert_eq!(pkg.var_of(e), 0);
+        let ch = pkg.children(e);
+        assert!(ch[1].is_zero() && ch[2].is_zero());
+        assert!(!ch[0].is_zero() && !ch[3].is_zero());
+        assert_ne!(ch[0].node, ch[3].node, "identity and X submatrices differ");
+        assert_eq!(pkg.node_count(e), 3);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let mut pkg = Qmdd::new(3);
+        let id = pkg.identity();
+        let h = pkg.gate(&Gate::h(1));
+        let hi = pkg.mul(h, id);
+        let ih = pkg.mul(id, h);
+        assert_eq!(hi, h);
+        assert_eq!(ih, h);
+    }
+
+    #[test]
+    fn add_commutes_and_scales() {
+        let mut pkg = Qmdd::new(2);
+        let a = pkg.gate(&Gate::h(0));
+        let b = pkg.gate(&Gate::cx(0, 1));
+        let ab = pkg.add(a, b);
+        let ba = pkg.add(b, a);
+        assert_eq!(ab, ba);
+        let da = pkg.to_matrix(a);
+        let db = pkg.to_matrix(b);
+        let mut expected = Matrix::zeros(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                expected[(i, j)] = da[(i, j)] + db[(i, j)];
+            }
+        }
+        assert!(pkg.to_matrix(ab).approx_eq(&expected));
+    }
+
+    #[test]
+    fn mul_matches_dense_product() {
+        let mut pkg = Qmdd::new(3);
+        let mut c1 = Circuit::new(3);
+        c1.push(Gate::h(0));
+        c1.push(Gate::cx(0, 1));
+        c1.push(Gate::t(2));
+        let mut c2 = Circuit::new(3);
+        c2.push(Gate::cx(1, 2));
+        c2.push(Gate::single(SingleOp::Sdg, 0));
+        let e1 = pkg.circuit(&c1);
+        let e2 = pkg.circuit(&c2);
+        let prod = pkg.mul(e2, e1);
+        let dense = c2.to_matrix().mul(&c1.to_matrix());
+        assert!(pkg.to_matrix(prod).approx_eq(&dense));
+    }
+
+    #[test]
+    fn canonicity_same_function_same_edge() {
+        // SWAP as a native gate vs. as three CNOTs: identical root edges.
+        let mut pkg = Qmdd::new(3);
+        let mut a = Circuit::new(3);
+        a.push(Gate::swap(1, 2));
+        let mut b = Circuit::new(3);
+        b.push(Gate::cx(1, 2));
+        b.push(Gate::cx(2, 1));
+        b.push(Gate::cx(1, 2));
+        assert_eq!(pkg.circuit(&a), pkg.circuit(&b));
+    }
+
+    #[test]
+    fn distinct_functions_distinct_edges() {
+        let mut pkg = Qmdd::new(2);
+        let mut a = Circuit::new(2);
+        a.push(Gate::cx(0, 1));
+        let mut b = Circuit::new(2);
+        b.push(Gate::cx(1, 0));
+        assert_ne!(pkg.circuit(&a), pkg.circuit(&b));
+    }
+
+    #[test]
+    fn adjoint_matches_dense() {
+        let mut pkg = Qmdd::new(2);
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::t(0));
+        c.push(Gate::cx(0, 1));
+        let e = pkg.circuit(&c);
+        let adj = pkg.adjoint(e);
+        assert!(pkg.to_matrix(adj).approx_eq(&c.to_matrix().adjoint()));
+        // U * U^dagger = I
+        let prod = pkg.mul(e, adj);
+        let id = pkg.identity();
+        assert_eq!(prod, id);
+    }
+
+    #[test]
+    fn hadamard_weight_normalization() {
+        // H's QMDD: all entries 1/sqrt(2); normalized node has weights
+        // 1,1,1,-1 and the root weight carries the scale.
+        let mut pkg = Qmdd::new(1);
+        let e = pkg.gate(&Gate::h(0));
+        let w = pkg.weight_value(e.weight);
+        assert!((w.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        let ch = pkg.children(e);
+        assert_eq!(ch[0].weight, W_ONE);
+    }
+
+    #[test]
+    fn compact_preserves_semantics() {
+        let mut pkg = Qmdd::new(3);
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::tdg(2));
+        let before = pkg.circuit(&c);
+        let dense = pkg.to_matrix(before);
+        let mut roots = [before];
+        pkg.compact(&mut roots);
+        assert!(pkg.to_matrix(roots[0]).approx_eq(&dense));
+        // After compaction the arena contains only reachable nodes.
+        assert_eq!(pkg.node_count_total(), pkg.node_count(roots[0]) + 1);
+        // And further operations still work.
+        let h = pkg.gate(&Gate::h(0));
+        let _ = pkg.mul(h, roots[0]);
+    }
+
+    #[test]
+    fn basis_column_matches_dense() {
+        let mut pkg = Qmdd::new(3);
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::toffoli(0, 1, 2));
+        let e = pkg.circuit(&c);
+        let dense = pkg.to_matrix(e);
+        for input in 0..8u64 {
+            let col = pkg.basis_column(e, input as u128);
+            let mut nonzero = 0;
+            for (row, amp) in &col {
+                assert!(dense[(*row as usize, input as usize)].approx_eq(*amp));
+                nonzero += 1;
+            }
+            for row in 0..8usize {
+                if !dense[(row, input as usize)].is_zero() {
+                    nonzero -= 1;
+                }
+            }
+            assert_eq!(nonzero, 0, "column {input} entry count");
+        }
+    }
+
+    #[test]
+    fn basis_column_on_permutation_is_single_entry() {
+        let mut pkg = Qmdd::new(4);
+        let mut c = Circuit::new(4);
+        c.push(Gate::mct(vec![0, 1, 2], 3));
+        c.push(Gate::cx(3, 0));
+        let e = pkg.circuit(&c);
+        for input in 0..16u64 {
+            let col = pkg.basis_column(e, input as u128);
+            assert_eq!(col.len(), 1, "permutation column {input}");
+            assert_eq!(col[0].0, c.permute_basis(input) as u128);
+            assert!(col[0].1.is_one());
+        }
+    }
+
+    #[test]
+    fn node_profile_counts_levels() {
+        let mut pkg = Qmdd::new(3);
+        let id = pkg.identity();
+        assert_eq!(pkg.node_profile(id), vec![1, 1, 1]);
+        let e = pkg.gate(&Gate::cx(0, 2));
+        let profile = pkg.node_profile(e);
+        assert_eq!(profile.iter().sum::<usize>(), pkg.node_count(e));
+        assert_eq!(profile[0], 1, "one root node");
+    }
+
+    #[test]
+    fn automatic_gc_preserves_circuit_building() {
+        // Force collections every few nodes and rebuild a circuit whose
+        // result is known; the fold in `circuit` must survive relocation.
+        let mut pkg = Qmdd::new(4);
+        pkg.set_gc_threshold(8);
+        let mut c = Circuit::new(4);
+        for k in 0..6 {
+            c.push(Gate::h(k % 4));
+            c.push(Gate::cx(k % 4, (k + 1) % 4));
+            c.push(Gate::t((k + 2) % 4));
+        }
+        let e = pkg.circuit(&c);
+        let mut clean = Qmdd::new(4);
+        let expected = clean.circuit(&c);
+        assert!(pkg.to_matrix(e).approx_eq(&clean.to_matrix(expected)));
+    }
+
+    #[test]
+    fn adjoint_is_an_involution() {
+        let mut pkg = Qmdd::new(2);
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::t(1));
+        c.push(Gate::cx(0, 1));
+        let e = pkg.circuit(&c);
+        let back = pkg.adjoint(e);
+        let again = pkg.adjoint(back);
+        assert_eq!(again, e, "adjoint twice is the identity map");
+    }
+
+    #[test]
+    fn identity_diagram_is_linear_size() {
+        for n in [1usize, 8, 64, 96] {
+            let mut pkg = Qmdd::new(n);
+            let id = pkg.identity();
+            assert_eq!(pkg.node_count(id), n, "one shared node per level");
+        }
+    }
+
+    #[test]
+    fn weight_table_stays_bounded_on_clifford_t() {
+        // Thousands of multiplications over the Clifford+T value ring must
+        // not mint unbounded fresh weights (the snapping property).
+        let mut pkg = Qmdd::new(3);
+        let mut c = Circuit::new(3);
+        let mut s = 7u64;
+        for _ in 0..600 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match s % 4 {
+                0 => c.push(Gate::h((s % 3) as usize)),
+                1 => c.push(Gate::t((s % 3) as usize)),
+                2 => c.push(Gate::tdg((s % 3) as usize)),
+                _ => {
+                    let a = (s % 3) as usize;
+                    let b = ((s >> 8) % 3) as usize;
+                    if a != b {
+                        c.push(Gate::cx(a, b));
+                    }
+                }
+            }
+        }
+        let e = pkg.circuit(&c);
+        // The table grows with the circuit's true amplitude ring (new
+        // denominators appear with depth), but snapping must keep the
+        // numerics exact: after 600 gates the product is still exactly
+        // unitary in the canonical representation.
+        let adj = pkg.adjoint(e);
+        let prod = pkg.mul(e, adj);
+        let id = pkg.identity();
+        assert_eq!(prod, id, "unitarity lost after deep product");
+    }
+
+    #[test]
+    fn long_product_stays_exact() {
+        // T applied eight times is the identity; snapping must keep this
+        // exact through the weight table.
+        let mut pkg = Qmdd::new(1);
+        let mut c = Circuit::new(1);
+        for _ in 0..8 {
+            c.push(Gate::t(0));
+        }
+        let e = pkg.circuit(&c);
+        let id = pkg.identity();
+        assert_eq!(e, id);
+    }
+}

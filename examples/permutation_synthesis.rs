@@ -1,0 +1,49 @@
+//! Synthesize an arbitrary *reversible* specification — here an in-place
+//! modular incrementer — with the transformation-based (MMD) front-end,
+//! then compile it for a real device. Complements the ESOP front-end,
+//! which targets irreversible functions.
+//!
+//! ```text
+//! cargo run --example permutation_synthesis
+//! ```
+
+use qsyn::esop::{synthesize_permutation, Permutation};
+use qsyn::prelude::*;
+
+fn main() -> Result<(), CompileError> {
+    // |x> -> |x + 1 mod 16> on 4 lines, no ancilla.
+    let inc = Permutation::from_fn(4, |x| (x + 1) % 16);
+    let cascade = synthesize_permutation(&inc).with_name("inc4");
+    println!("4-bit incrementer via MMD synthesis:\n{cascade}");
+
+    // Verify the classical behaviour, then compile to hardware.
+    for x in 0..16u64 {
+        assert_eq!(cascade.permute_basis(x), (x + 1) % 16);
+    }
+    let result = Compiler::new(devices::ibmqx5()).compile(&cascade)?;
+    println!(
+        "compiled for ibmqx5: {} gates, QMDD-verified = {:?}",
+        result.optimized.len(),
+        result.verified
+    );
+
+    // Round-trip: extract the permutation back from the cascade and
+    // resynthesize; the functions agree.
+    let back = Permutation::of_circuit(&cascade);
+    assert_eq!(back, inc);
+    println!("permutation round-trip through the circuit: OK");
+
+    // MMD also handles arbitrary "scrambled" truth tables.
+    let scrambled = Permutation::from_fn(3, |x| (x.wrapping_mul(5) + 3) % 8);
+    let c2 = synthesize_permutation(&scrambled);
+    println!(
+        "\nscrambled 3-line permutation: {} MCT gates, T-count after \
+         Clifford+T expansion: {}",
+        c2.len(),
+        {
+            let r = Compiler::new(Device::simulator(6)).compile(&c2)?;
+            r.optimized.stats().t_count
+        }
+    );
+    Ok(())
+}

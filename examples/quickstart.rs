@@ -1,0 +1,49 @@
+//! Quickstart: from a classical truth table to verified, device-ready
+//! OpenQASM in a few lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use qsyn::prelude::*;
+
+fn main() -> Result<(), CompileError> {
+    // 1. Describe a classical function: 3-input majority vote.
+    let majority = TruthTable::from_fn(3, |x| x.count_ones() >= 2);
+
+    // 2. The ESOP front-end turns it into a technology-independent
+    //    reversible cascade (NOT / CNOT / Toffoli gates) computing
+    //    |x, y> -> |x, y XOR maj(x)>.
+    let cascade = synthesize_single_target(&majority);
+    println!("technology-independent cascade:\n{cascade}");
+
+    // 3. The back-end maps it onto a real device: the 5-qubit IBM
+    //    Tenerife machine, whose coupling map allows only certain CNOTs.
+    let device = devices::ibmqx4();
+    println!("target: {device}");
+    let result = Compiler::new(device).compile(&cascade)?;
+
+    // 4. Every output is formally verified against the input with QMDDs.
+    println!(
+        "verified: {:?}   (paper: every output confirmed by QMDD equivalence)",
+        result.verified
+    );
+
+    // 5. Inspect what mapping cost and what optimization recovered.
+    let cost = TransmonCost::default();
+    println!(
+        "unoptimized mapping : {}  (cost {:.2})",
+        result.unoptimized.stats(),
+        cost.circuit_cost(&result.unoptimized)
+    );
+    println!(
+        "optimized mapping   : {}  (cost {:.2}, -{:.1}%)",
+        result.optimized.stats(),
+        cost.circuit_cost(&result.optimized),
+        result.percent_cost_decrease(&cost)
+    );
+
+    // 6. Emit executable OpenQASM 2.0.
+    println!("\n{}", result.optimized.to_qasm().expect("mapped output"));
+    Ok(())
+}

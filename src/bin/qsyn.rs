@@ -1,0 +1,399 @@
+//! `qsyn` — command-line driver for the technology-dependent quantum
+//! logic synthesis tool.
+//!
+//! ```text
+//! qsyn devices
+//! qsyn compile <input.{qasm,qc,real}> --device <name> [options]
+//! qsyn check <a> <b>
+//! qsyn stats <input>
+//! qsyn synth <hex-truth-table> <n-vars> [--out file.real]
+//! ```
+//!
+//! Input format is chosen by file extension (`.qasm`, `.qc`, `.real`).
+//! `compile` prints technology-dependent OpenQASM 2.0 to stdout (or
+//! `--out`), with mapping statistics on stderr — mirroring the paper's
+//! Fig. 2 flow ending in "QASM code".
+
+use qsyn::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "qsyn — technology-dependent quantum logic synthesis (Smith & Thornton, ISCA 2019)
+
+USAGE:
+  qsyn devices
+      List the built-in device library with coupling complexities.
+
+  qsyn compile <input> --device <name> [--out FILE] [--no-opt]
+               [--no-verify] [--placement identity|greedy|annealed] [--report]
+               [--cost eqn2|volume|fidelity]
+      Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
+      --report prints a stage-by-stage metrics table on stderr.
+
+  qsyn check <a> <b> [--miter] [--ancilla 2,3]
+      QMDD formal equivalence check of two circuit files; --miter uses the
+      interleaved strategy for wide registers, --ancilla checks partial
+      equivalence assuming the listed lines start in |0>.
+
+  qsyn stats <input>
+      Gate statistics and Eqn. 2 cost of a circuit file.
+
+  qsyn synth <hex> <n-vars> [--out FILE]
+      Synthesize the single-target gate of a control function given as a
+      hex truth table; emit a .real reversible cascade.
+
+  qsyn dot --device <name>
+  qsyn dot <input>
+      Graphviz DOT of a device coupling map (paper Fig. 7 style) or of a
+      circuit's QMDD (paper Fig. 1 style).
+
+  qsyn draw <input>
+      ASCII rendering of a circuit with ASAP gate layers.
+
+Devices: ibmqx2, ibmqx3, ibmqx4, ibmqx5, ibmq_16, ibmq20, qc96,
+simulator:<n>, or a path to a .device description file
+(name/qubits/native/coupling directives)."
+    );
+    std::process::exit(2);
+}
+
+/// Resolves `--device` values: a library name, `simulator:<n>`, or a path
+/// to a `.device` description file.
+fn resolve_device(name_or_path: &str) -> Result<Device, String> {
+    if let Some(d) = devices::device_by_name(name_or_path) {
+        return Ok(d);
+    }
+    if name_or_path.ends_with(".device") || std::path::Path::new(name_or_path).exists() {
+        let src = std::fs::read_to_string(name_or_path)
+            .map_err(|e| format!("{name_or_path}: {e}"))?;
+        return qsyn::arch::parse_device(&src).map_err(|e| format!("{name_or_path}: {e}"));
+    }
+    Err(format!(
+        "unknown device `{name_or_path}` (library name or .device file)"
+    ))
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed = if path.ends_with(".qc") {
+        Circuit::from_qc(&src).map_err(|e| e.to_string())
+    } else if path.ends_with(".real") {
+        Circuit::from_real(&src).map_err(|e| e.to_string())
+    } else if path.ends_with(".pla") {
+        // Classical multi-output specification: run the ESOP front-end.
+        parse_pla(&src).map(|pla| pla.synthesize())
+    } else {
+        Circuit::from_qasm(&src).map_err(|e| e.to_string())
+    };
+    parsed.map_err(|e| format!("{path}: {e}"))
+}
+
+/// Minimal flag parser: returns (positional, flag -> value) with `--flag`
+/// (boolean) and `--flag value` forms.
+fn parse_args(args: &[String], value_flags: &[&str]) -> (Vec<String>, Vec<(String, String)>) {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if value_flags.contains(&name) && i + 1 < args.len() {
+                flags.push((name.to_string(), args[i + 1].clone()));
+                i += 2;
+                continue;
+            }
+            flags.push((name.to_string(), String::new()));
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    (positional, flags)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmd_devices() -> ExitCode {
+    println!("| device | qubits | couplings | coupling complexity |");
+    println!("|---|---|---|---|");
+    for d in devices::all_devices() {
+        println!(
+            "| {} | {} | {} | {:.6} |",
+            d.name(),
+            d.n_qubits(),
+            d.coupling_count(),
+            d.coupling_complexity()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compile(args: &[String]) -> ExitCode {
+    let (pos, flags) = parse_args(args, &["device", "out", "placement", "cost"]);
+    let [input] = pos.as_slice() else { usage() };
+    let Some(device_name) = flag(&flags, "device") else {
+        eprintln!("error: --device is required");
+        return ExitCode::from(2);
+    };
+    let device = match resolve_device(device_name) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let circuit = match load_circuit(input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut compiler = Compiler::new(device)
+        .with_optimization(flag(&flags, "no-opt").is_none())
+        .with_verification(if flag(&flags, "no-verify").is_some() {
+            Verification::None
+        } else {
+            Verification::Auto
+        });
+    match flag(&flags, "placement") {
+        Some("greedy") => compiler = compiler.with_placement(PlacementStrategy::Greedy),
+        Some("annealed") => compiler = compiler.with_placement(PlacementStrategy::Annealed),
+        Some("identity") | None => {}
+        Some(other) => {
+            eprintln!("error: unknown placement `{other}`");
+            return ExitCode::from(2);
+        }
+    }
+    let cost: Box<dyn CostModel> = match flag(&flags, "cost") {
+        Some("volume") => Box::new(VolumeCost),
+        Some("fidelity") => Box::new(FidelityCost::default()),
+        Some("eqn2") | None => Box::new(TransmonCost::default()),
+        Some(other) => {
+            eprintln!("error: unknown cost model `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let eqn2 = TransmonCost::default();
+    compiler = compiler.with_cost_model(cost);
+
+    let start = std::time::Instant::now();
+    match compiler.compile(&circuit) {
+        Ok(r) => {
+            let qasm = r.optimized.to_qasm().expect("mapped output is QASM-ready");
+            if flag(&flags, "report").is_some() {
+                eprintln!("{}", r.report(&eqn2));
+            }
+            eprintln!(
+                "mapped {:?} -> {}: {} (cost {:.2} -> {:.2}, -{:.1}%), verified = {:?}, {:.3}s",
+                circuit.name().unwrap_or(input),
+                device_name,
+                r.optimized.stats(),
+                eqn2.circuit_cost(&r.unoptimized),
+                eqn2.circuit_cost(&r.optimized),
+                r.percent_cost_decrease(&eqn2),
+                r.verified,
+                start.elapsed().as_secs_f64(),
+            );
+            match flag(&flags, "out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, qasm) {
+                        eprintln!("error: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => print!("{qasm}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (pos, flags) = parse_args(args, &["ancilla"]);
+    let [a, b] = pos.as_slice() else { usage() };
+    match (load_circuit(a), load_circuit(b)) {
+        (Ok(ca), Ok(cb)) => {
+            let report = if let Some(spec) = flag(&flags, "ancilla") {
+                // Comma-separated clean-ancilla lines.
+                let lines: Vec<usize> = spec
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+                qsyn::qmdd::equivalent_with_ancillas(&ca, &cb, &lines)
+            } else if flag(&flags, "miter").is_some() {
+                equivalent_miter(&ca, &cb)
+            } else {
+                equivalent(&ca, &cb)
+            };
+            println!(
+                "{}",
+                if report.equivalent {
+                    "EQUIVALENT"
+                } else {
+                    "DIFFERENT"
+                }
+            );
+            if report.equivalent {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let (pos, _) = parse_args(args, &[]);
+    let [input] = pos.as_slice() else { usage() };
+    match load_circuit(input) {
+        Ok(c) => {
+            let s = c.stats();
+            println!("qubits          : {}", c.n_qubits());
+            println!("gates           : {}", s.volume);
+            println!("T / T-dagger    : {}", s.t_count);
+            println!("CNOT            : {}", s.cnot_count);
+            println!("other 1-qubit   : {}", s.other_single_count);
+            println!("unmapped multi  : {}", s.unmapped_multi_count);
+            println!("largest MCT     : {} controls", s.max_mct_controls);
+            println!("depth           : {}", qsyn::circuit::depth(&c));
+            println!("T-depth         : {}", qsyn::circuit::t_depth(&c));
+            println!(
+                "Eqn. 2 cost     : {:.2}",
+                TransmonCost::default().cost(&s)
+            );
+            println!("technology-ready: {}", c.is_technology_ready());
+            let hist = qsyn::circuit::gate_histogram(&c);
+            let parts: Vec<String> =
+                hist.iter().map(|(k, v)| format!("{k}x{v}")).collect();
+            println!("histogram       : {}", parts.join(", "));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_synth(args: &[String]) -> ExitCode {
+    let (pos, flags) = parse_args(args, &["out"]);
+    let [hex, vars] = pos.as_slice() else { usage() };
+    let Ok(n) = vars.parse::<usize>() else {
+        eprintln!("error: bad variable count `{vars}`");
+        return ExitCode::from(2);
+    };
+    let tt = match TruthTable::from_hex(n, hex) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cascade = synthesize_single_target(&tt);
+    eprintln!(
+        "synthesized single-target gate: {} lines, {} gates",
+        cascade.n_qubits(),
+        cascade.len()
+    );
+    let real = cascade.to_real().expect("cascades are classical");
+    match flag(&flags, "out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, real) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{real}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_dot(args: &[String]) -> ExitCode {
+    let (pos, flags) = parse_args(args, &["device"]);
+    if let Some(name) = flag(&flags, "device") {
+        let device = match resolve_device(name) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", device.to_dot());
+        return ExitCode::SUCCESS;
+    }
+    let [input] = pos.as_slice() else { usage() };
+    match load_circuit(input) {
+        Ok(c) => {
+            let (pkg, root) = qsyn::qmdd::build_circuit_qmdd(&c);
+            eprintln!(
+                "QMDD: {} non-terminal nodes for {} qubits",
+                pkg.node_count(root),
+                c.n_qubits()
+            );
+            print!("{}", pkg.to_dot(root));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_draw(args: &[String]) -> ExitCode {
+    let (pos, _) = parse_args(args, &[]);
+    let [input] = pos.as_slice() else { usage() };
+    match load_circuit(input) {
+        Ok(c) => {
+            eprintln!(
+                "{} qubits, {} gates, depth {}, T-depth {}",
+                c.n_qubits(),
+                c.len(),
+                qsyn::circuit::depth(&c),
+                qsyn::circuit::t_depth(&c)
+            );
+            print!("{}", c.draw());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "devices" => cmd_devices(),
+            "compile" => cmd_compile(rest),
+            "check" => cmd_check(rest),
+            "stats" => cmd_stats(rest),
+            "synth" => cmd_synth(rest),
+            "dot" => cmd_dot(rest),
+            "draw" => cmd_draw(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

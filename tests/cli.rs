@@ -1,0 +1,278 @@
+//! Integration tests driving the `qsyn` command-line tool end to end,
+//! through real process invocations and temporary files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qsyn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qsyn"))
+        .args(args)
+        .output()
+        .expect("qsyn binary runs")
+}
+
+fn tmp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsyn-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const TOFFOLI_REAL: &str = ".version 2.0\n.numvars 3\n.variables a b c\n.begin\nt3 a b c\n.end\n";
+
+#[test]
+fn devices_lists_the_library() {
+    let out = qsyn(&["devices"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["ibmqx2", "ibmqx3", "ibmqx4", "ibmqx5", "ibmq_16", "qc96"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert!(text.contains("0.3"), "complexity column");
+}
+
+#[test]
+fn compile_real_to_qasm() {
+    let input = tmp("tof.real", TOFFOLI_REAL);
+    let out = qsyn(&["compile", input.to_str().unwrap(), "--device", "ibmqx4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let qasm = String::from_utf8_lossy(&out.stdout);
+    assert!(qasm.starts_with("OPENQASM 2.0;"));
+    assert!(qasm.contains("cx q["));
+    // Stats and verification report on stderr.
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("verified = Some(true)"), "{log}");
+}
+
+#[test]
+fn compile_writes_out_file_and_round_trips() {
+    let input = tmp("tof2.real", TOFFOLI_REAL);
+    let output = tmp("tof2.qasm", "");
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx2",
+        "--out",
+        output.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let qasm = std::fs::read_to_string(&output).unwrap();
+    let mapped = qsyn::circuit::Circuit::from_qasm(&qasm).unwrap();
+    let spec = qsyn::circuit::Circuit::from_real(TOFFOLI_REAL).unwrap();
+    assert!(qsyn::qmdd::circuits_equal(&spec, &mapped));
+}
+
+#[test]
+fn compile_reports_na_for_too_wide() {
+    let input = tmp(
+        "wide.real",
+        ".numvars 6\n.variables a b c d e f\nt2 a f\n",
+    );
+    let out = qsyn(&["compile", input.to_str().unwrap(), "--device", "ibmqx2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("6 qubits"));
+}
+
+#[test]
+fn compile_rejects_unknown_device() {
+    let input = tmp("tof3.real", TOFFOLI_REAL);
+    let out = qsyn(&["compile", input.to_str().unwrap(), "--device", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn compile_flags_greedy_and_no_opt() {
+    let input = tmp("tof4.real", TOFFOLI_REAL);
+    for extra in [&["--placement", "greedy"][..], &["--no-opt"], &["--cost", "fidelity"]] {
+        let mut args = vec!["compile", input.to_str().unwrap(), "--device", "ibmqx5"];
+        args.extend_from_slice(extra);
+        let out = qsyn(&args);
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+    }
+}
+
+#[test]
+fn check_equivalent_and_different() {
+    let swap_native = tmp("s1.qasm", "qreg q[2]; swap q[0],q[1];");
+    let swap_cnots = tmp(
+        "s2.qasm",
+        "qreg q[2]; cx q[0],q[1]; cx q[1],q[0]; cx q[0],q[1];",
+    );
+    let other = tmp("s3.qasm", "qreg q[2]; cx q[0],q[1];");
+
+    let ok = qsyn(&[
+        "check",
+        swap_native.to_str().unwrap(),
+        swap_cnots.to_str().unwrap(),
+    ]);
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("EQUIVALENT"));
+
+    let bad = qsyn(&[
+        "check",
+        swap_native.to_str().unwrap(),
+        other.to_str().unwrap(),
+    ]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("DIFFERENT"));
+}
+
+#[test]
+fn check_miter_and_ancilla_flags() {
+    let swap_native = tmp("sm1.qasm", "qreg q[2]; swap q[0],q[1];");
+    let swap_cnots = tmp(
+        "sm2.qasm",
+        "qreg q[2]; cx q[0],q[1]; cx q[1],q[0]; cx q[0],q[1];",
+    );
+    let ok = qsyn(&[
+        "check",
+        swap_native.to_str().unwrap(),
+        swap_cnots.to_str().unwrap(),
+        "--miter",
+    ]);
+    assert!(ok.status.success());
+
+    // Partial equivalence: a CZ firing only on an excited ancilla input.
+    let clean = tmp("anc1.qasm", "qreg q[3]; ccx q[0],q[1],q[2];");
+    let messy = tmp("anc2.qasm", "qreg q[3]; cz q[2],q[0]; ccx q[0],q[1],q[2];");
+    let full = qsyn(&["check", clean.to_str().unwrap(), messy.to_str().unwrap()]);
+    assert!(!full.status.success(), "fully different");
+    let partial = qsyn(&[
+        "check",
+        clean.to_str().unwrap(),
+        messy.to_str().unwrap(),
+        "--ancilla",
+        "2",
+    ]);
+    assert!(partial.status.success(), "equal on the clean subspace");
+}
+
+#[test]
+fn stats_reports_counts() {
+    let input = tmp(
+        "stats.qc",
+        ".v a b c\nBEGIN\nH a\nT a\nT* b\ntof a b\ntof a b c\nEND\n",
+    );
+    let out = qsyn(&["stats", input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T / T-dagger    : 2"));
+    assert!(text.contains("CNOT            : 1"));
+    assert!(text.contains("technology-ready: false"));
+}
+
+#[test]
+fn synth_emits_real_cascade() {
+    let out = qsyn(&["synth", "8", "2"]); // AND of two variables
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(".numvars 3"));
+    assert!(text.contains("t3 x0 x1 x2"));
+}
+
+#[test]
+fn synth_then_compile_pipeline() {
+    let cascade = tmp("maj.real", "");
+    let out = qsyn(&[
+        "synth",
+        "e8", // 3-input majority: rows 3,5,6,7
+        "3",
+        "--out",
+        cascade.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = qsyn(&["compile", cascade.to_str().unwrap(), "--device", "ibmqx4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn compile_pla_through_the_esop_front_end() {
+    // A half adder as a PLA: sum = a XOR b, carry = a AND b.
+    let input = tmp(
+        "half_adder.pla",
+        ".i 2\n.o 2\n10 10\n01 10\n11 01\n.e\n",
+    );
+    let out = qsyn(&["compile", input.to_str().unwrap(), "--device", "ibmqx5"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verified = Some(true)"));
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("OPENQASM 2.0;"));
+}
+
+#[test]
+fn dot_device_renders_coupling_map() {
+    let out = qsyn(&["dot", "--device", "ibmqx2"]);
+    assert!(out.status.success());
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.contains("digraph \"ibmqx2\""));
+    assert!(dot.contains("q0 -> q1;"));
+    assert_eq!(dot.matches("->").count(), 6, "six couplings");
+}
+
+#[test]
+fn dot_circuit_renders_qmdd() {
+    let input = tmp("cnot.qasm", "qreg q[2]; cx q[0],q[1];");
+    let out = qsyn(&["dot", input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.contains("digraph qmdd"));
+    assert!(dot.contains("x0"));
+    // The paper's Fig. 1: three non-terminal vertices for a CNOT.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("3 non-terminal nodes"));
+}
+
+#[test]
+fn stats_reports_depth() {
+    let input = tmp("depth.qc", ".v a b\nBEGIN\nT a\nT b\ntof a b\nT b\nEND\n");
+    let out = qsyn(&["stats", input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("depth           : 3"));
+    assert!(text.contains("T-depth         : 2"));
+}
+
+#[test]
+fn draw_renders_ascii_circuit() {
+    let input = tmp("bell.qasm", "qreg q[2]; h q[0]; cx q[0],q[1];");
+    let out = qsyn(&["draw", input.to_str().unwrap()]);
+    assert!(out.status.success());
+    let art = String::from_utf8_lossy(&out.stdout);
+    assert!(art.contains("q0:") && art.contains('H') && art.contains('⊕'));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("depth 2"));
+}
+
+#[test]
+fn compile_against_custom_device_file() {
+    let device = tmp(
+        "lab.device",
+        "name lab\nqubits 3\nnative cz\ncoupling 0 1\ncoupling 1 2 0.01\n",
+    );
+    let input = tmp("tof5.real", TOFFOLI_REAL);
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        device.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let qasm = String::from_utf8_lossy(&out.stdout);
+    assert!(qasm.contains("cz q["), "CZ-native output:\n{qasm}");
+    assert!(!qasm.contains("cx q["), "no CNOT on a CZ device");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verified = Some(true)"));
+}
+
+#[test]
+fn dot_accepts_device_file() {
+    let device = tmp("dotlab.device", "name dotlab\nqubits 2\ncoupling 0 1\n");
+    let out = qsyn(&["dot", "--device", device.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("digraph \"dotlab\""));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = qsyn(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
