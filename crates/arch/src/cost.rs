@@ -23,6 +23,13 @@ pub trait CostModel {
     fn circuit_cost(&self, circuit: &Circuit) -> f64 {
         self.cost(&circuit.stats())
     }
+
+    /// Cost improvement going from `before` to `after` (positive when the
+    /// transformation cheapened the circuit). The trace layer uses this to
+    /// attribute cost movement to individual compiler passes.
+    fn delta(&self, before: &CircuitStats, after: &CircuitStats) -> f64 {
+        self.cost(before) - self.cost(after)
+    }
 }
 
 /// The paper's Eqn. 2: `q_cost = t_weight * t + cnot_weight * c + a`.
@@ -207,6 +214,17 @@ mod tests {
         let empty = Circuit::new(2);
         assert_eq!(TransmonCost::default().circuit_cost(&empty), 0.0);
         assert_eq!(FidelityCost::default().circuit_cost(&empty), 0.0);
+    }
+
+    #[test]
+    fn delta_attributes_cost_movement() {
+        let m = TransmonCost::default();
+        let before = sample().stats();
+        let mut smaller = sample();
+        smaller.gates_mut().pop();
+        let after = smaller.stats();
+        assert!(m.delta(&before, &after) > 0.0, "removing a gate helps");
+        assert_eq!(m.delta(&before, &before), 0.0);
     }
 
     #[test]

@@ -6,13 +6,33 @@
 //! ```
 //!
 //! Pass `--no-verify` to skip the QMDD equivalence checks (they are part of
-//! the paper's flow and on by default).
+//! the paper's flow and on by default). Pass `--trace FILE` to stream one
+//! JSON line per compiler pass of every benchmark mapping to FILE.
 
 use qsyn_bench::report::*;
+use qsyn_trace::{JsonlSink, TraceSink};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let verify = !std::env::args().any(|a| a == "--no-verify");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let trace: Option<Arc<dyn TraceSink>> = match args.iter().position(|a| a == "--trace") {
+        None => None,
+        Some(i) => {
+            let Some(path) = args.get(i + 1) else {
+                eprintln!("error: flag --trace requires a value");
+                std::process::exit(2);
+            };
+            match JsonlSink::to_file(path) {
+                Ok(sink) => Some(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let t0 = Instant::now();
 
     println!("# qsyn experiment report\n");
@@ -26,7 +46,7 @@ fn main() {
 
     println!("\n## Table 3 — single-target gates mapped to IBM devices\n");
     let t3 = Instant::now();
-    let rows3 = run_table3(verify);
+    let rows3 = run_table3_traced(verify, trace.clone());
     print!("{}", render_table3(&rows3));
     println!("\n## Table 4 — percent cost decrease (single-target gates)\n");
     print!("{}", render_table4(&rows3));
@@ -34,7 +54,7 @@ fn main() {
 
     println!("\n## Table 5 — RevLib Toffoli cascades mapped to IBM devices\n");
     let t5 = Instant::now();
-    let rows5 = run_table5(verify);
+    let rows5 = run_table5_traced(verify, trace.clone());
     print!("{}", render_table5(&rows5));
     println!("\n## Table 6 — percent cost decrease (RevLib cascades)\n");
     print!("{}", render_table6(&rows5));
@@ -45,7 +65,7 @@ fn main() {
 
     println!("\n## Table 8 — 96-qubit compilation results\n");
     let t8 = Instant::now();
-    let rows8 = run_table8(verify);
+    let rows8 = run_table8_traced(verify, trace.clone());
     print!("{}", render_table8(&rows8));
     let t8 = t8.elapsed().as_secs_f64();
 
@@ -56,4 +76,7 @@ fn main() {
     println!("| Tables 5+6 (5 cascades x 5 devices) | {t5:.2} |");
     println!("| Table 8 (5 cascades on qc96) | {t8:.2} |");
     println!("| Total | {:.2} |", t0.elapsed().as_secs_f64());
+    if let Some(sink) = trace {
+        sink.flush();
+    }
 }

@@ -13,8 +13,9 @@ use crate::stg::{StgFunction, STG_FUNCTIONS};
 use qsyn_arch::{devices, CostModel, Device, TransmonCost};
 use qsyn_circuit::Circuit;
 use qsyn_core::{CompileError, Compiler, Verification};
+use qsyn_trace::TraceSink;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Metrics of one mapping: the `(T-count / gates / cost)` triples the
 /// paper's tables use, before and after optimization.
@@ -46,13 +47,32 @@ pub type Cell = Option<MappingMetrics>;
 /// verification rejects the output — both would be compiler defects, which
 /// the experiment harness surfaces loudly rather than tabulating.
 pub fn map_benchmark(circuit: &Circuit, device: &Device, verify: bool) -> Cell {
+    map_benchmark_traced(circuit, device, verify, None)
+}
+
+/// [`map_benchmark`] with an optional pass-event sink: every compiler pass
+/// of every benchmark streams to `trace` (e.g. a shared
+/// [`qsyn_trace::JsonlSink`]), so an experiment sweep leaves a per-pass
+/// record alongside the rendered tables.
+///
+/// # Panics
+///
+/// Same contract as [`map_benchmark`].
+pub fn map_benchmark_traced(
+    circuit: &Circuit,
+    device: &Device,
+    verify: bool,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> Cell {
     let cost = TransmonCost::default();
-    let compiler = Compiler::new(device.clone()).with_verification(if verify {
+    let mut compiler = Compiler::new(device.clone()).with_verification(if verify {
         Verification::Auto
     } else {
         Verification::None
     });
-    let start = Instant::now();
+    if let Some(sink) = trace {
+        compiler = compiler.with_trace(sink);
+    }
     match compiler.compile(circuit) {
         Ok(r) => {
             let su = r.unoptimized_stats();
@@ -62,7 +82,7 @@ pub fn map_benchmark(circuit: &Circuit, device: &Device, verify: bool) -> Cell {
                 opt: (so.t_count, so.volume, cost.cost(&so)),
                 pct_decrease: r.percent_cost_decrease(&cost),
                 verified: r.verified.unwrap_or(false),
-                seconds: start.elapsed().as_secs_f64(),
+                seconds: r.metrics().total_seconds,
             })
         }
         Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => None,
@@ -160,6 +180,11 @@ pub struct Table3Row {
 
 /// Runs the Table 3 / Table 4 experiment over the whole suite.
 pub fn run_table3(verify: bool) -> Vec<Table3Row> {
+    run_table3_traced(verify, None)
+}
+
+/// [`run_table3`] streaming every compiler pass to an optional sink.
+pub fn run_table3_traced(verify: bool, trace: Option<Arc<dyn TraceSink>>) -> Vec<Table3Row> {
     let devs = devices::ibm_devices();
     STG_FUNCTIONS
         .iter()
@@ -170,7 +195,7 @@ pub fn run_table3(verify: bool) -> Vec<Table3Row> {
                 tech_independent: tech_independent_metrics(&cascade),
                 cells: devs
                     .iter()
-                    .map(|d| map_benchmark(&cascade, d, verify))
+                    .map(|d| map_benchmark_traced(&cascade, d, verify, trace.clone()))
                     .collect(),
             }
         })
@@ -297,6 +322,11 @@ pub struct Table5Row {
 
 /// Runs the Table 5 / Table 6 experiment.
 pub fn run_table5(verify: bool) -> Vec<Table5Row> {
+    run_table5_traced(verify, None)
+}
+
+/// [`run_table5`] streaming every compiler pass to an optional sink.
+pub fn run_table5_traced(verify: bool, trace: Option<Arc<dyn TraceSink>>) -> Vec<Table5Row> {
     let devs = devices::ibm_devices();
     REVLIB_BENCHMARKS
         .iter()
@@ -304,7 +334,7 @@ pub fn run_table5(verify: bool) -> Vec<Table5Row> {
             benchmark: *b,
             cells: devs
                 .iter()
-                .map(|d| map_benchmark(&b.circuit(), d, verify))
+                .map(|d| map_benchmark_traced(&b.circuit(), d, verify, trace.clone()))
                 .collect(),
         })
         .collect()
@@ -358,12 +388,17 @@ pub struct Table8Row {
 
 /// Runs the Table 8 experiment on the Fig. 7 machine.
 pub fn run_table8(verify: bool) -> Vec<Table8Row> {
+    run_table8_traced(verify, None)
+}
+
+/// [`run_table8`] streaming every compiler pass to an optional sink.
+pub fn run_table8_traced(verify: bool, trace: Option<Arc<dyn TraceSink>>) -> Vec<Table8Row> {
     let d = devices::qc96();
     BIG_BENCHMARKS
         .iter()
         .map(|b| Table8Row {
             benchmark: *b,
-            metrics: map_benchmark(&b.circuit(), &d, verify)
+            metrics: map_benchmark_traced(&b.circuit(), &d, verify, trace.clone())
                 .expect("qc96 hosts every Table 7 benchmark"),
         })
         .collect()
@@ -455,6 +490,20 @@ mod tests {
         assert!(m.unopt.2 >= m.opt.2, "optimization never raises cost");
         assert_eq!(m.unopt.0, 14, "two Toffolis = 14 T");
         assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn traced_map_benchmark_streams_passes_and_matches_untraced() {
+        let d = devices::ibmqx4();
+        let c = R3_17_14.circuit();
+        let sink = Arc::new(qsyn_trace::TableSink::new());
+        let traced = map_benchmark_traced(&c, &d, true, Some(sink.clone())).unwrap();
+        let plain = map_benchmark(&c, &d, true).unwrap();
+        assert_eq!(traced.unopt, plain.unopt);
+        assert_eq!(traced.opt, plain.opt);
+        assert_eq!(traced.pct_decrease, plain.pct_decrease);
+        // One event per Fig. 2 pass: place, decompose, route, optimize, verify.
+        assert_eq!(sink.events().len(), 5);
     }
 
     #[test]

@@ -15,13 +15,15 @@
 
 use crate::decompose::{decompose_circuit_with, DecomposeStrategy};
 use crate::error::CompileError;
-use crate::optimize::{optimize_with, OptimizeConfig};
+use crate::optimize::{optimize_traced, OptimizeConfig, OptimizeCounters};
 use crate::place::{place, Placement, PlacementStrategy};
-use crate::remap::{route_circuit_persistent, SwapStrategy};
-use crate::route::{route_circuit_with, RoutingObjective};
+use crate::remap::{route_circuit_persistent_traced, SwapStrategy};
+use crate::route::{route_circuit_traced, RoutingObjective};
 use qsyn_arch::{CostModel, Device, TransmonCost};
 use qsyn_circuit::{Circuit, CircuitStats};
 use qsyn_qmdd::{equivalent, equivalent_miter};
+use qsyn_trace::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot, TraceSink};
+use std::sync::Arc;
 
 /// Which formal equivalence check to run on the compiled output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +39,60 @@ pub enum Verification {
     /// Canonical up to 16 device qubits, miter beyond.
     #[default]
     Auto,
+}
+
+/// Whether (and how) the local optimization stage runs.
+///
+/// Converts from the values callers already have: `bool` (on/off with the
+/// default families), an [`OptimizeConfig`] (ablation experiments), or an
+/// `Option<OptimizeConfig>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimization {
+    /// Skip the optimization stage entirely.
+    Disabled,
+    /// Run the configured optimization families until cost stops improving.
+    Enabled(OptimizeConfig),
+}
+
+impl Optimization {
+    fn default_enabled() -> Self {
+        Optimization::Enabled(OptimizeConfig::default())
+    }
+
+    fn config(self) -> Option<OptimizeConfig> {
+        match self {
+            Optimization::Disabled => None,
+            Optimization::Enabled(cfg) => Some(cfg),
+        }
+    }
+}
+
+impl Default for Optimization {
+    fn default() -> Self {
+        Optimization::default_enabled()
+    }
+}
+
+impl From<bool> for Optimization {
+    fn from(on: bool) -> Self {
+        if on {
+            Optimization::default_enabled()
+        } else {
+            Optimization::Disabled
+        }
+    }
+}
+
+impl From<OptimizeConfig> for Optimization {
+    fn from(cfg: OptimizeConfig) -> Self {
+        Optimization::Enabled(cfg)
+    }
+}
+
+impl From<Option<OptimizeConfig>> for Optimization {
+    fn from(cfg: Option<OptimizeConfig>) -> Self {
+        cfg.map_or(Optimization::Disabled, Optimization::Enabled)
+    }
 }
 
 /// The technology-dependent quantum logic synthesis tool.
@@ -66,7 +122,8 @@ pub struct Compiler {
     swaps: SwapStrategy,
     decompose: DecomposeStrategy,
     verification: Verification,
-    optimize_config: Option<OptimizeConfig>,
+    optimization: Optimization,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for Compiler {
@@ -76,7 +133,8 @@ impl std::fmt::Debug for Compiler {
             .field("cost", &self.cost.name())
             .field("placement", &self.placement)
             .field("verification", &self.verification)
-            .field("optimize", &self.optimize_config)
+            .field("optimize", &self.optimization)
+            .field("traced", &self.trace.is_some())
             .finish()
     }
 }
@@ -94,7 +152,8 @@ impl Compiler {
             swaps: SwapStrategy::ReturnControl,
             decompose: DecomposeStrategy::Exact,
             verification: Verification::Auto,
-            optimize_config: Some(OptimizeConfig::default()),
+            optimization: Optimization::default_enabled(),
+            trace: None,
         }
     }
 
@@ -139,15 +198,25 @@ impl Compiler {
         self
     }
 
-    /// Enables or disables the optimization stage.
-    pub fn with_optimization(mut self, on: bool) -> Self {
-        self.optimize_config = on.then(OptimizeConfig::default);
+    /// Configures the optimization stage. Accepts a `bool` (on/off with
+    /// the default families), an [`OptimizeConfig`] (ablation experiments),
+    /// an `Option<OptimizeConfig>`, or an [`Optimization`] directly.
+    pub fn with_optimization(mut self, optimization: impl Into<Optimization>) -> Self {
+        self.optimization = optimization.into();
         self
     }
 
     /// Restricts which optimization families run (ablation experiments).
-    pub fn with_optimize_config(mut self, config: OptimizeConfig) -> Self {
-        self.optimize_config = Some(config);
+    #[deprecated(since = "0.1.0", note = "use `with_optimization(config)` instead")]
+    pub fn with_optimize_config(self, config: OptimizeConfig) -> Self {
+        self.with_optimization(config)
+    }
+
+    /// Streams every pass event of [`Compiler::compile`] to a sink as it
+    /// completes (per-pass metrics are always collected either way — see
+    /// [`CompileResult::metrics`]; the sink only adds live output).
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -180,36 +249,105 @@ impl Compiler {
                 available: self.device.n_qubits(),
             });
         }
+        let started = std::time::Instant::now();
+        let mut events: Vec<PassEvent> = Vec::new();
+        let mut record = |e: PassEvent| {
+            if let Some(sink) = &self.trace {
+                sink.record(&e);
+            }
+            events.push(e);
+        };
+
+        // Placement.
+        let snap_input = StageSnapshot::of(input);
+        let span = Span::begin(Pass::Place);
         let placement = place(input, &self.device, self.placement);
         let mut placed = placement.apply(input, &self.device);
         let base_name = input.name().unwrap_or("circuit").to_string();
         placed.set_name(base_name.clone());
+        let snap_placed = StageSnapshot::of(&placed);
+        record(self.finish(span, snap_input, snap_placed, |s| {
+            s.counter("identity_placement", f64::from(u8::from(placement.is_identity())));
+        }));
 
+        // Decomposition (Barenco + Clifford+T lowering).
+        let span = Span::begin(Pass::Decompose);
         let decomposed = decompose_circuit_with(&placed, Some(&self.device), self.decompose)?;
-        let mut unoptimized = match self.swaps {
+        let snap_decomposed = StageSnapshot::of(&decomposed);
+        record(self.finish(span, snap_placed, snap_decomposed, |_| {}));
+
+        // Routing against the coupling map.
+        let span = Span::begin(Pass::Route);
+        let (mut unoptimized, swaps_inserted, gates_rerouted, restoration) = match self.swaps {
             SwapStrategy::ReturnControl => {
-                route_circuit_with(&decomposed, &self.device, self.routing)?
+                let (c, k) = route_circuit_traced(&decomposed, &self.device, self.routing)?;
+                (c, k.swaps_inserted, k.gates_rerouted, 0)
             }
             SwapStrategy::PersistentLayout => {
-                route_circuit_persistent(&decomposed, &self.device, self.routing)?
+                let (c, k) =
+                    route_circuit_persistent_traced(&decomposed, &self.device, self.routing)?;
+                (c, k.swaps_inserted, k.gates_rerouted, k.restoration_swaps)
             }
         };
         unoptimized.set_name(format!("{base_name}@{}", self.device.name()));
-
-        let optimized = match self.optimize_config {
-            Some(cfg) => {
-                optimize_with(&unoptimized, Some(&self.device), self.cost.as_ref(), cfg)
+        let snap_routed = StageSnapshot::of(&unoptimized);
+        record(self.finish(span, snap_decomposed, snap_routed, |s| {
+            s.counter("swaps_inserted", swaps_inserted as f64);
+            s.counter("gates_rerouted", gates_rerouted as f64);
+            if self.swaps == SwapStrategy::PersistentLayout {
+                s.counter("restoration_swaps", restoration as f64);
             }
-            None => unoptimized.clone(),
-        };
+        }));
 
+        // Local optimization (an event is emitted even when disabled, so
+        // the Fig. 2 event order is stable; `enabled` disambiguates).
+        let span = Span::begin(Pass::Optimize);
+        let (optimized, opt_counters) = match self.optimization.config() {
+            Some(cfg) => {
+                optimize_traced(&unoptimized, Some(&self.device), self.cost.as_ref(), cfg)
+            }
+            None => (unoptimized.clone(), OptimizeCounters::default()),
+        };
+        let snap_optimized = StageSnapshot::of(&optimized);
+        record(self.finish(span, snap_routed, snap_optimized, |s| {
+            s.counter(
+                "enabled",
+                f64::from(u8::from(self.optimization != Optimization::Disabled)),
+            );
+            s.counter("rounds", opt_counters.rounds as f64);
+            s.counter("gates_removed", opt_counters.gates_removed as f64);
+        }));
+
+        // QMDD formal verification.
         let verified = match self.effective_verification() {
             Verification::None => None,
-            Verification::Canonical => Some(equivalent(&placed, &optimized).equivalent),
-            Verification::Miter | Verification::Auto => {
-                Some(equivalent_miter(&placed, &optimized).equivalent)
+            mode => {
+                let span = Span::begin(Pass::Verify);
+                let report = match mode {
+                    Verification::Canonical => equivalent(&placed, &optimized),
+                    _ => equivalent_miter(&placed, &optimized),
+                };
+                record(self.finish(span, snap_optimized, snap_optimized, |s| {
+                    s.counter("peak_nodes", report.peak_nodes as f64);
+                    s.counter("unique_nodes", report.unique_nodes as f64);
+                    s.counter("cache_lookups", report.cache_lookups as f64);
+                    s.counter("cache_hit_rate", report.cache_hit_rate());
+                }));
+                Some(report.equivalent)
             }
         };
+
+        let metrics = CompileMetrics {
+            circuit: base_name,
+            device: self.device.name().to_string(),
+            cost_model: self.cost.name().to_string(),
+            events,
+            verified,
+            total_seconds: started.elapsed().as_secs_f64(),
+        };
+        if let Some(sink) = &self.trace {
+            sink.flush();
+        }
         if verified == Some(false) {
             return Err(CompileError::VerificationFailed);
         }
@@ -220,7 +358,26 @@ impl Compiler {
             unoptimized,
             optimized,
             verified,
+            metrics,
         })
+    }
+
+    /// Prices the in/out snapshots under the active cost model, attaches
+    /// counters, and closes the span.
+    fn finish(
+        &self,
+        mut span: Span,
+        input: StageSnapshot,
+        output: StageSnapshot,
+        counters: impl FnOnce(&mut Span),
+    ) -> PassEvent {
+        counters(&mut span);
+        span.finish(
+            input,
+            output,
+            self.cost.cost(&input.stats),
+            self.cost.cost(&output.stats),
+        )
     }
 
     fn effective_verification(&self) -> Verification {
@@ -254,9 +411,19 @@ pub struct CompileResult {
     /// `Some(true)` when a QMDD equivalence check ran and passed; `None`
     /// when verification was disabled.
     pub verified: Option<bool>,
+    metrics: CompileMetrics,
 }
 
 impl CompileResult {
+    /// Structured per-pass metrics of this compilation: one
+    /// [`qsyn_trace::PassEvent`] per pipeline stage with wall-clock time,
+    /// input/output statistics, cost movement under the compiler's cost
+    /// model, and backend counters. Serializable via
+    /// [`CompileMetrics::to_json`].
+    pub fn metrics(&self) -> &CompileMetrics {
+        &self.metrics
+    }
+
     /// Statistics of the pre-optimization mapping.
     pub fn unoptimized_stats(&self) -> CircuitStats {
         self.unoptimized.stats()
@@ -282,6 +449,10 @@ impl CompileResult {
     /// A human-readable markdown report of the compilation: specification
     /// vs. mapped vs. optimized metrics, depths, placement, and the
     /// verification verdict.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `metrics()` for structured data or `metrics().render_table()` for text"
+    )]
     pub fn report(&self, cost: &dyn CostModel) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -486,6 +657,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn report_summarizes_all_stages() {
         let r = Compiler::new(devices::ibmqx3()).compile(&toffoli_spec()).unwrap();
         let text = r.report(&TransmonCost::default());
@@ -494,6 +666,111 @@ mod tests {
         assert!(text.contains("optimized"));
         assert!(text.contains("QMDD verification: passed"));
         assert!(text.contains("transmon-eqn2"));
+    }
+
+    #[test]
+    fn metrics_cover_fig2_pipeline_in_order() {
+        let r = Compiler::new(devices::ibmqx4()).compile(&toffoli_spec()).unwrap();
+        let m = r.metrics();
+        let order: Vec<Pass> = m.events.iter().map(|e| e.pass).collect();
+        assert_eq!(order, Pass::FIG2_ORDER);
+        assert_eq!(m.circuit, "tof");
+        assert_eq!(m.device, "ibmqx4");
+        assert_eq!(m.cost_model, "transmon-eqn2");
+        assert_eq!(m.verified, Some(true));
+        assert!(m.total_seconds > 0.0);
+        // Events chain: each pass's input is the previous pass's output.
+        for w in m.events.windows(2) {
+            assert_eq!(w[0].output, w[1].input, "{} -> {}", w[0].pass, w[1].pass);
+        }
+        // The verify pass reports the QMDD package counters.
+        let verify = m.pass(Pass::Verify).unwrap();
+        assert!(verify.counter("peak_nodes").unwrap() > 0.0);
+        assert!(verify.counter("unique_nodes").unwrap() > 0.0);
+        assert!(verify.counter("cache_hit_rate").is_some());
+    }
+
+    #[test]
+    fn metrics_pct_matches_result_pct() {
+        let cost = TransmonCost::default();
+        let r = Compiler::new(devices::ibmqx3()).compile(&toffoli_spec()).unwrap();
+        let pct = r.metrics().percent_cost_decrease();
+        assert!((pct - r.percent_cost_decrease(&cost)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_optimization_still_emits_its_event() {
+        let r = Compiler::new(devices::ibmqx4())
+            .with_optimization(false)
+            .compile(&toffoli_spec())
+            .unwrap();
+        let opt = r.metrics().pass(Pass::Optimize).unwrap();
+        assert_eq!(opt.counter("enabled"), Some(0.0));
+        assert_eq!(opt.input, opt.output);
+        assert_eq!(r.metrics().percent_cost_decrease(), 0.0);
+    }
+
+    #[test]
+    fn disabled_verification_omits_the_verify_event() {
+        let r = Compiler::new(devices::ibmqx4())
+            .with_verification(Verification::None)
+            .compile(&toffoli_spec())
+            .unwrap();
+        assert!(r.metrics().pass(Pass::Verify).is_none());
+        assert_eq!(r.metrics().events.len(), 4);
+        assert_eq!(r.metrics().verified, None);
+    }
+
+    #[test]
+    fn optimization_enum_accepts_all_call_styles() {
+        let spec = toffoli_spec();
+        let cfg = OptimizeConfig {
+            cancel_identities: true,
+            rewrite_identities: false,
+        };
+        let a = Compiler::new(devices::ibmqx4())
+            .with_optimization(cfg)
+            .compile(&spec)
+            .unwrap();
+        #[allow(deprecated)]
+        let b = Compiler::new(devices::ibmqx4())
+            .with_optimize_config(cfg)
+            .compile(&spec)
+            .unwrap();
+        let c = Compiler::new(devices::ibmqx4())
+            .with_optimization(Some(cfg))
+            .compile(&spec)
+            .unwrap();
+        assert_eq!(a.optimized, b.optimized);
+        assert_eq!(a.optimized, c.optimized);
+        let off = Compiler::new(devices::ibmqx4())
+            .with_optimization(Optimization::Disabled)
+            .compile(&spec)
+            .unwrap();
+        assert_eq!(off.optimized, off.unoptimized);
+    }
+
+    #[test]
+    fn trace_sink_receives_the_same_events_as_metrics() {
+        let sink = Arc::new(qsyn_trace::TableSink::new());
+        let r = Compiler::new(devices::ibmqx4())
+            .with_trace(sink.clone())
+            .compile(&toffoli_spec())
+            .unwrap();
+        assert_eq!(sink.events(), r.metrics().events);
+    }
+
+    #[test]
+    fn null_sink_results_match_untraced_results() {
+        let traced = Compiler::new(devices::ibmqx4())
+            .with_trace(Arc::new(qsyn_trace::NullSink))
+            .compile(&toffoli_spec())
+            .unwrap();
+        let plain = Compiler::new(devices::ibmqx4()).compile(&toffoli_spec()).unwrap();
+        assert_eq!(traced.optimized, plain.optimized);
+        assert_eq!(traced.unoptimized, plain.unoptimized);
+        assert_eq!(traced.placed, plain.placed);
+        assert_eq!(traced.verified, plain.verified);
     }
 
     #[test]

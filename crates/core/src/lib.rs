@@ -45,17 +45,20 @@ pub mod remap;
 pub mod route;
 pub mod sk;
 
-pub use compiler::{CompileResult, Compiler, Verification};
+pub use compiler::{CompileResult, Compiler, Optimization, Verification};
 pub use error::CompileError;
 pub use decompose::{
     decompose_circuit, decompose_circuit_for, decompose_circuit_with, mct_decompose,
     mct_to_toffolis, rccx, rccx_dagger, DecomposeStrategy,
 };
-pub use optimize::{optimize, optimize_with, OptimizeConfig};
+pub use optimize::{optimize, optimize_traced, optimize_with, OptimizeConfig, OptimizeCounters};
 pub use place::{place, Placement, PlacementStrategy};
-pub use remap::{route_circuit_persistent, SwapStrategy};
+pub use remap::{
+    route_circuit_persistent, route_circuit_persistent_traced, PersistentRouteCounters,
+    SwapStrategy,
+};
 pub use sk::{approximate_rz, approximate_rz_to_accuracy, approximate_unitary, SkApproximation};
 pub use route::{
-    ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, route_circuit_with,
-    CtrRoute, RoutingObjective, DEFAULT_CNOT_ERROR,
+    ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, route_circuit_traced,
+    route_circuit_with, CtrRoute, RouteCounters, RoutingObjective, DEFAULT_CNOT_ERROR,
 };

@@ -365,6 +365,16 @@ impl Default for OptimizeConfig {
     }
 }
 
+/// What the optimizer did (the trace layer reports these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeCounters {
+    /// Improvement rounds that were *kept* (each ran every enabled family
+    /// once and lowered the cost).
+    pub rounds: usize,
+    /// Gates removed between the input and the accepted result.
+    pub gates_removed: usize,
+}
+
 /// Runs the local optimizers recursively until the cost function stops
 /// improving (paper steps 5-6). `device` gates the direction-sensitive
 /// rewrites; pass `None` for technology-independent optimization.
@@ -374,9 +384,20 @@ pub fn optimize_with(
     cost: &dyn CostModel,
     config: OptimizeConfig,
 ) -> Circuit {
+    optimize_traced(circuit, device, cost, config).0
+}
+
+/// [`optimize_with`] that also reports [`OptimizeCounters`].
+pub fn optimize_traced(
+    circuit: &Circuit,
+    device: Option<&Device>,
+    cost: &dyn CostModel,
+    config: OptimizeConfig,
+) -> (Circuit, OptimizeCounters) {
     let n = circuit.n_qubits();
     let mut best = circuit.clone();
     let mut best_cost = cost.circuit_cost(&best);
+    let mut counters = OptimizeCounters::default();
     loop {
         let mut gates = best.gates().to_vec();
         let mut any = false;
@@ -390,7 +411,7 @@ pub fn optimize_with(
             any |= contract_hh_cx_hh(&mut gates, n, device);
         }
         if !any {
-            return best;
+            break;
         }
         let mut cand = Circuit::from_gates(n, gates);
         if let Some(name) = best.name() {
@@ -400,10 +421,13 @@ pub fn optimize_with(
         if c < best_cost {
             best = cand;
             best_cost = c;
+            counters.rounds += 1;
         } else {
-            return best;
+            break;
         }
     }
+    counters.gates_removed = circuit.len().saturating_sub(best.len());
+    (best, counters)
 }
 
 /// [`optimize_with`] with the default configuration (both families on).
@@ -657,6 +681,32 @@ mod tests {
         };
         let o = optimize_with(&c, None, &TransmonCost::default(), cfg);
         assert_eq!(o.len(), 2, "fusion disabled leaves T T in place");
+    }
+
+    #[test]
+    fn traced_optimize_counts_rounds_and_matches_untraced() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::h(0));
+        c.push(Gate::t(1));
+        c.push(Gate::t(1));
+        let cost = TransmonCost::default();
+        let cfg = OptimizeConfig::default();
+        let (traced, counters) = optimize_traced(&c, None, &cost, cfg);
+        let plain = optimize_with(&c, None, &cost, cfg);
+        assert_eq!(traced, plain, "tracing must not change the output");
+        assert!(counters.rounds >= 1);
+        assert_eq!(counters.gates_removed, c.len() - traced.len());
+    }
+
+    #[test]
+    fn traced_optimize_on_fixed_point_counts_zero_rounds() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        let (o, counters) =
+            optimize_traced(&c, None, &TransmonCost::default(), OptimizeConfig::default());
+        assert_eq!(o, c);
+        assert_eq!(counters, OptimizeCounters::default());
     }
 
     #[test]

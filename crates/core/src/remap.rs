@@ -72,6 +72,31 @@ pub fn route_circuit_persistent(
     device: &Device,
     objective: RoutingObjective,
 ) -> Result<Circuit, CompileError> {
+    route_circuit_persistent_traced(circuit, device, objective).map(|(c, _)| c)
+}
+
+/// What the persistent-layout router did (the trace layer reports these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistentRouteCounters {
+    /// Drifting SWAPs emitted while bringing operands adjacent.
+    pub swaps_inserted: usize,
+    /// Adjacent SWAPs of the final restoration network.
+    pub restoration_swaps: usize,
+    /// Two-qubit gates that needed at least one drifting SWAP.
+    pub gates_rerouted: usize,
+}
+
+/// [`route_circuit_persistent`] that also reports
+/// [`PersistentRouteCounters`].
+///
+/// # Errors
+///
+/// See [`route_circuit_persistent`].
+pub fn route_circuit_persistent_traced(
+    circuit: &Circuit,
+    device: &Device,
+    objective: RoutingObjective,
+) -> Result<(Circuit, PersistentRouteCounters), CompileError> {
     let _ = objective; // path search below is hop-based; kept for API parity
     let n = device.n_qubits();
     let mut out = Circuit::new(n);
@@ -79,6 +104,7 @@ pub fn route_circuit_persistent(
         out.set_name(name.to_string());
     }
     let mut layout = Layout::identity(n);
+    let mut counters = PersistentRouteCounters::default();
 
     for g in circuit.gates() {
         match g {
@@ -87,12 +113,16 @@ pub fn route_circuit_persistent(
             }
             Gate::Cx { control, target } => {
                 let (pc, pt) = (layout.phys_of[*control], layout.phys_of[*target]);
-                let eff = bring_adjacent(device, pc, pt, &mut layout, &mut out)?;
+                let (eff, hops) = bring_adjacent(device, pc, pt, &mut layout, &mut out)?;
+                counters.swaps_inserted += hops;
+                counters.gates_rerouted += usize::from(hops > 0);
                 emit_adjacent_cnot(device, eff, pt, &mut out)?;
             }
             Gate::Cz { control, target } if device.native() == TwoQubitNative::Cz => {
                 let (pc, pt) = (layout.phys_of[*control], layout.phys_of[*target]);
-                let eff = bring_adjacent(device, pc, pt, &mut layout, &mut out)?;
+                let (eff, hops) = bring_adjacent(device, pc, pt, &mut layout, &mut out)?;
+                counters.swaps_inserted += hops;
+                counters.gates_rerouted += usize::from(hops > 0);
                 emit_adjacent_cz(device, eff, pt, &mut out)?;
             }
             other => return Err(CompileError::UnmappedGate(other.to_string())),
@@ -103,24 +133,26 @@ pub fn route_circuit_persistent(
     if !layout.is_identity() {
         for (a, b) in restoration_swaps(device, &mut layout) {
             emit_adjacent_swap(device, a, b, &mut out)?;
+            counters.restoration_swaps += 1;
         }
         debug_assert!(layout.is_identity());
     }
-    Ok(out)
+    Ok((out, counters))
 }
 
 /// Moves the occupant of `from` adjacent to `to` with persistent SWAPs
 /// (BFS shortest path, never stepping onto `to`); returns the physical
-/// qubit now holding the moved logical line.
+/// qubit now holding the moved logical line and the number of SWAP hops
+/// that move took.
 fn bring_adjacent(
     device: &Device,
     from: usize,
     to: usize,
     layout: &mut Layout,
     out: &mut Circuit,
-) -> Result<usize, CompileError> {
+) -> Result<(usize, usize), CompileError> {
     if device.are_adjacent(from, to) {
-        return Ok(from);
+        return Ok((from, 0));
     }
     // BFS from `from` to any neighbor of `to`, avoiding `to` itself.
     let n = device.n_qubits();
@@ -161,7 +193,7 @@ fn bring_adjacent(
         emit_adjacent_swap(device, w[0], w[1], out)?;
         layout.swap_physical(w[0], w[1]);
     }
-    Ok(stop)
+    Ok((stop, path.len() - 1))
 }
 
 /// Adjacent transpositions sorting the layout back to the identity, via
@@ -352,6 +384,21 @@ mod tests {
         for g in r.gates() {
             assert!(d.supports(g), "unsupported {g}");
         }
+    }
+
+    #[test]
+    fn traced_persistent_routing_counts_and_matches_untraced() {
+        let d = devices::ibmqx3();
+        let mut c = Circuit::new(16);
+        c.push(Gate::cx(5, 10)); // needs drifting swaps + restoration
+        c.push(Gate::cx(0, 1)); // adjacent
+        let (traced, counters) =
+            route_circuit_persistent_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+        let plain = route_circuit_persistent(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+        assert_eq!(traced, plain, "tracing must not change the output");
+        assert_eq!(counters.gates_rerouted, 1);
+        assert!(counters.swaps_inserted > 0);
+        assert!(counters.restoration_swaps > 0, "layout drifted, must restore");
     }
 
     #[test]

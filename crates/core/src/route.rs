@@ -330,14 +330,27 @@ pub fn emit_cnot_with(
     out: &mut Circuit,
 ) -> Result<(), CompileError> {
     let route = ctr_route_with(device, control, target, objective)?;
-    for w in route.path.windows(2) {
-        emit_adjacent_swap(device, w[0], w[1], out)?;
+    emit_cnot_via(device, &route, target, out)
+}
+
+/// What the router did to a circuit: how many gates needed a reroute and
+/// how many adjacent SWAPs that took (the trace layer reports these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteCounters {
+    /// Adjacent SWAPs emitted across all reroutes (out- and back-legs).
+    pub swaps_inserted: usize,
+    /// Two-qubit gates that needed at least one SWAP to become adjacent.
+    pub gates_rerouted: usize,
+}
+
+impl RouteCounters {
+    fn record(&mut self, route: &CtrRoute) {
+        let hops = route.path.len().saturating_sub(1);
+        if hops > 0 {
+            self.gates_rerouted += 1;
+            self.swaps_inserted += 2 * hops; // SWAP out and SWAP back
+        }
     }
-    emit_adjacent_cnot(device, route.effective_control, target, out)?;
-    for w in route.path.windows(2).rev() {
-        emit_adjacent_swap(device, w[0], w[1], out)?;
-    }
-    Ok(())
 }
 
 /// Legalizes every CNOT of a technology-ready circuit against the device
@@ -362,25 +375,78 @@ pub fn route_circuit_with(
     device: &Device,
     objective: RoutingObjective,
 ) -> Result<Circuit, CompileError> {
+    route_circuit_traced(circuit, device, objective).map(|(c, _)| c)
+}
+
+/// [`route_circuit_with`] that also reports [`RouteCounters`].
+///
+/// # Errors
+///
+/// See [`route_circuit`].
+pub fn route_circuit_traced(
+    circuit: &Circuit,
+    device: &Device,
+    objective: RoutingObjective,
+) -> Result<(Circuit, RouteCounters), CompileError> {
     let mut out = Circuit::new(device.n_qubits());
     if let Some(name) = circuit.name() {
         out.set_name(name.to_string());
     }
+    let mut counters = RouteCounters::default();
     for g in circuit.gates() {
         match g {
             Gate::Single { .. } => out.push(g.clone()),
             Gate::Cx { control, target } => {
-                emit_cnot_with(device, *control, *target, objective, &mut out)?
+                let route = ctr_route_with(device, *control, *target, objective)?;
+                counters.record(&route);
+                emit_cnot_via(device, &route, *target, &mut out)?;
             }
             Gate::Cz { control, target }
                 if device.native() == qsyn_arch::TwoQubitNative::Cz =>
             {
-                emit_cz_with(device, *control, *target, objective, &mut out)?
+                let route = ctr_route_with(device, *control, *target, objective)?;
+                counters.record(&route);
+                emit_cz_via(device, &route, *target, &mut out)?;
             }
             other => return Err(CompileError::UnmappedGate(other.to_string())),
         }
     }
-    Ok(out)
+    Ok((out, counters))
+}
+
+/// Emits a CNOT along an already-computed route: SWAP out, execute the
+/// (possibly reversed) CNOT, SWAP back.
+fn emit_cnot_via(
+    device: &Device,
+    route: &CtrRoute,
+    target: usize,
+    out: &mut Circuit,
+) -> Result<(), CompileError> {
+    for w in route.path.windows(2) {
+        emit_adjacent_swap(device, w[0], w[1], out)?;
+    }
+    emit_adjacent_cnot(device, route.effective_control, target, out)?;
+    for w in route.path.windows(2).rev() {
+        emit_adjacent_swap(device, w[0], w[1], out)?;
+    }
+    Ok(())
+}
+
+/// Emits a CZ along an already-computed route (CZ-native devices).
+fn emit_cz_via(
+    device: &Device,
+    route: &CtrRoute,
+    target: usize,
+    out: &mut Circuit,
+) -> Result<(), CompileError> {
+    for w in route.path.windows(2) {
+        emit_adjacent_swap(device, w[0], w[1], out)?;
+    }
+    emit_adjacent_cz(device, route.effective_control, target, out)?;
+    for w in route.path.windows(2).rev() {
+        emit_adjacent_swap(device, w[0], w[1], out)?;
+    }
+    Ok(())
 }
 
 /// Emits a CZ between arbitrary qubits of a CZ-native device: native when
@@ -403,14 +469,7 @@ pub fn emit_cz_with(
         return Err(CompileError::UnmappedGate(format!("CZ q{a}, q{b}")));
     }
     let route = ctr_route_with(device, a, b, objective)?;
-    for w in route.path.windows(2) {
-        emit_adjacent_swap(device, w[0], w[1], out)?;
-    }
-    emit_adjacent_cz(device, route.effective_control, b, out)?;
-    for w in route.path.windows(2).rev() {
-        emit_adjacent_swap(device, w[0], w[1], out)?;
-    }
-    Ok(())
+    emit_cz_via(device, &route, b, out)
 }
 
 #[cfg(test)]
@@ -500,6 +559,30 @@ mod tests {
                 assert!(d.has_coupling(*control, *target));
             }
         }
+    }
+
+    #[test]
+    fn traced_routing_counts_swaps_and_matches_untraced() {
+        let d = devices::ibmqx3();
+        let mut c = Circuit::new(16);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(5, 10)); // the Fig. 5 reroute: 2 hops
+        c.push(Gate::cx(0, 1)); // adjacent: no swaps
+        let (traced, counters) =
+            route_circuit_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+        let plain = route_circuit(&c, &d).unwrap();
+        assert_eq!(traced, plain, "tracing must not change the output");
+        assert_eq!(counters.gates_rerouted, 1);
+        assert_eq!(counters.swaps_inserted, 4, "2 hops out + 2 hops back");
+    }
+
+    #[test]
+    fn adjacent_only_circuit_counts_zero_swaps() {
+        let d = devices::ibmqx2();
+        let mut c = Circuit::new(5);
+        c.push(Gate::cx(0, 1));
+        let (_, counters) = route_circuit_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+        assert_eq!(counters, RouteCounters::default());
     }
 
     #[test]

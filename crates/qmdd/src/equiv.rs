@@ -8,7 +8,7 @@
 //! the two circuits, so that the intermediate diagram stays close to the
 //! identity while the circuits agree.
 
-use crate::package::{Edge, Qmdd};
+use crate::package::{CacheStats, Edge, Qmdd};
 use qsyn_circuit::Circuit;
 
 /// Outcome of an equivalence check, with diagnostic sizes.
@@ -19,6 +19,35 @@ pub struct EquivReport {
     pub equivalent: bool,
     /// Peak node count of the underlying package during the check.
     pub peak_nodes: usize,
+    /// Final unique-table (hash-cons) size of the package.
+    pub unique_nodes: usize,
+    /// Compute-table probes performed during the check.
+    pub cache_lookups: u64,
+    /// Compute-table probes answered from the cache.
+    pub cache_hits: u64,
+}
+
+impl EquivReport {
+    /// Fraction of compute-table probes answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        CacheStats {
+            lookups: self.cache_lookups,
+            hits: self.cache_hits,
+        }
+        .hit_rate()
+    }
+}
+
+/// Assembles a report from a finished package and the check's verdict.
+fn report_from(pkg: &Qmdd, equivalent: bool) -> EquivReport {
+    let cache = pkg.cache_stats();
+    EquivReport {
+        equivalent,
+        peak_nodes: pkg.peak_node_count(),
+        unique_nodes: pkg.unique_len(),
+        cache_lookups: cache.lookups,
+        cache_hits: cache.hits,
+    }
 }
 
 /// Checks equivalence the way the paper describes: build both QMDDs in one
@@ -31,10 +60,7 @@ pub fn equivalent(a: &Circuit, b: &Circuit) -> EquivReport {
     let mut pkg = Qmdd::new(n);
     let ea = pkg.circuit(a);
     let eb = pkg.circuit(b);
-    EquivReport {
-        equivalent: ea == eb,
-        peak_nodes: pkg.peak_node_count(),
-    }
+    report_from(&pkg, ea == eb)
 }
 
 /// Checks equivalence via the interleaved miter `U_a * U_b^dagger = I`.
@@ -67,10 +93,7 @@ pub fn equivalent_miter(a: &Circuit, b: &Circuit) -> EquivReport {
         acc = pkg.maybe_gc(acc);
     }
     let id = pkg.identity();
-    EquivReport {
-        equivalent: acc == id,
-        peak_nodes: pkg.peak_node_count(),
-    }
+    report_from(&pkg, acc == id)
 }
 
 /// Convenience: canonical-compare equivalence as a bare boolean.
@@ -105,10 +128,7 @@ pub fn equivalent_with_ancillas(a: &Circuit, b: &Circuit, ancilla: &[usize]) -> 
     let eb = pkg.circuit(b);
     let ap = pkg.mul(ea, p);
     let bp = pkg.mul(eb, p);
-    EquivReport {
-        equivalent: ap == bp,
-        peak_nodes: pkg.peak_node_count(),
-    }
+    report_from(&pkg, ap == bp)
 }
 
 /// Process fidelity `|Tr(U_a† U_b)| / 2^n` between two circuits, computed
@@ -233,6 +253,16 @@ mod tests {
     fn report_exposes_peak_nodes() {
         let r = equivalent(&swap_native(), &swap_cnots());
         assert!(r.peak_nodes > 0);
+    }
+
+    #[test]
+    fn report_exposes_package_counters() {
+        let r = equivalent(&swap_native(), &swap_cnots());
+        assert!(r.unique_nodes > 0);
+        assert!(r.cache_lookups > 0, "circuit building must probe the cache");
+        assert!(r.cache_hits <= r.cache_lookups);
+        let rate = r.cache_hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "{rate}");
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use equiv::{
     process_fidelity, EquivReport,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
-pub use package::{Edge, NodeId, Qmdd, M2, TERMINAL};
+pub use package::{CacheStats, Edge, NodeId, Qmdd, M2, TERMINAL};
 pub use state::Simulator;

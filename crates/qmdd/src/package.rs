@@ -101,6 +101,32 @@ pub struct Qmdd {
     adj_cache: FxHashMap<NodeId, Edge>,
     peak_nodes: usize,
     gc_threshold: usize,
+    ct_lookups: u64,
+    ct_hits: u64,
+}
+
+/// Compute-table (add/mul cache) traffic counters of a [`Qmdd`] package.
+///
+/// Exposed so the compiler's trace layer can report how effectively the
+/// memoization caches are absorbing recursive arithmetic during
+/// verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cache probes performed by `add` and `mul`.
+    pub lookups: u64,
+    /// Probes answered from the cache.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
 }
 
 impl Qmdd {
@@ -118,6 +144,8 @@ impl Qmdd {
             mul_cache: FxHashMap::default(),
             adj_cache: FxHashMap::default(),
             peak_nodes: 1,
+            ct_lookups: 0,
+            ct_hits: 0,
             gc_threshold: 1 << 22,
         }
     }
@@ -135,6 +163,19 @@ impl Qmdd {
     /// Largest arena size observed so far.
     pub fn peak_node_count(&self) -> usize {
         self.peak_nodes
+    }
+
+    /// Current number of entries in the unique (hash-cons) table.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Compute-table traffic counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.ct_lookups,
+            hits: self.ct_hits,
+        }
     }
 
     /// Interns a raw complex value as a weight id.
@@ -257,7 +298,9 @@ impl Qmdd {
             (a, b)
         };
         let rel = self.weights.div(b.weight, a.weight);
+        self.ct_lookups += 1;
         if let Some(&hit) = self.add_cache.get(&(a.node, b.node, rel)) {
+            self.ct_hits += 1;
             return self.scale(hit, a.weight);
         }
         let na = *self.node(a.node);
@@ -285,7 +328,9 @@ impl Qmdd {
         }
         debug_assert_eq!(self.var_of(a), self.var_of(b));
         let w = self.weights.mul(a.weight, b.weight);
+        self.ct_lookups += 1;
         if let Some(&hit) = self.mul_cache.get(&(a.node, b.node)) {
+            self.ct_hits += 1;
             return self.scale(hit, w);
         }
         let na = *self.node(a.node);

@@ -1,0 +1,383 @@
+//! A minimal JSON value model, emitter and parser.
+//!
+//! The trace layer emits machine-readable JSON lines and must also read
+//! them back (round-trip tests, CI validation of `--trace` output). This
+//! workspace builds in offline environments where `serde_json` may not be
+//! available, so the subset of JSON the trace layer needs is implemented
+//! here: objects, arrays, strings, numbers, booleans and null.
+//!
+//! Numbers are emitted through `f64`'s `Display`, which prints the
+//! shortest representation that parses back to the identical bit pattern,
+//! so `emit -> parse -> emit` is a fixed point.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key of an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number behind this value, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number behind this value, truncated to usize.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_f64().map(|n| n as usize)
+    }
+
+    /// The string behind this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array behind this value, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean behind this value, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    // JSON has no Inf/NaN; emit null like serde_json does.
+                    write!(f, "null")
+                }
+            }
+            Value::Str(s) => write_escaped(f, s),
+            Value::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the byte offset of the first
+/// syntax error, or describing trailing garbage after the document.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multibyte sequences pass
+                    // through unescaped).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for src in ["null", "true", "false", "0", "-1.5", "3.141592653589793", "\"hi\""] {
+            let v = parse(src).unwrap();
+            assert_eq!(parse(&v.to_string()).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let src = r#"{"pass":"route","counters":{"swaps":4},"xs":[1,2.5,null,true],"s":"a\"b\\c\nd"}"#;
+        let v = parse(src).unwrap();
+        let emitted = v.to_string();
+        assert_eq!(parse(&emitted).unwrap(), v);
+        assert_eq!(v.get("pass").and_then(Value::as_str), Some("route"));
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("swaps")).and_then(Value::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(v.get("xs").and_then(Value::as_arr).map(<[Value]>::len), Some(4));
+    }
+
+    #[test]
+    fn f64_display_is_exact() {
+        for n in [0.25, 1e-9, 123456.789, f64::MAX, 5.0] {
+            let v = Value::Num(n);
+            assert_eq!(parse(&v.to_string()).unwrap().as_f64(), Some(n));
+        }
+    }
+
+    #[test]
+    fn integral_numbers_emit_without_fraction() {
+        assert_eq!(Value::Num(5.0).to_string(), "5");
+        assert_eq!(Value::Num(0.0).to_string(), "0");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nulls").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_arr).map(<[Value]>::len), Some(2));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+        let ctl = Value::Str("\u{1}".into()).to_string();
+        assert_eq!(ctl, "\"\\u0001\"");
+        assert_eq!(parse(&ctl).unwrap().as_str(), Some("\u{1}"));
+    }
+}

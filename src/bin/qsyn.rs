@@ -27,9 +27,12 @@ USAGE:
 
   qsyn compile <input> --device <name> [--out FILE] [--no-opt]
                [--no-verify] [--placement identity|greedy|annealed] [--report]
-               [--cost eqn2|volume|fidelity]
+               [--cost eqn2|volume|fidelity] [--trace[=FILE]]
       Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
       --report prints a stage-by-stage metrics table on stderr.
+      --trace streams one JSON line per compiler pass (wall time, gate/T/
+      CNOT counts, cost delta, backend counters) to stderr, or to FILE
+      with --trace=FILE.
 
   qsyn check <a> <b> [--miter] [--ancilla 2,3]
       QMDD formal equivalence check of two circuit files; --miter uses the
@@ -38,6 +41,10 @@ USAGE:
 
   qsyn stats <input>
       Gate statistics and Eqn. 2 cost of a circuit file.
+
+  qsyn check-trace <trace.jsonl>
+      Validate a --trace JSONL file: every line must be a well-formed
+      pass event. Prints a per-pass summary; exits 1 on malformed input.
 
   qsyn synth <hex> <n-vars> [--out FILE]
       Synthesize the single-target gate of a control function given as a
@@ -89,27 +96,47 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
     parsed.map_err(|e| format!("{path}: {e}"))
 }
 
-/// Minimal flag parser: returns (positional, flag -> value) with `--flag`
-/// (boolean) and `--flag value` forms.
-fn parse_args(args: &[String], value_flags: &[&str]) -> (Vec<String>, Vec<(String, String)>) {
+/// Strict flag parser: `--flag` (boolean), `--flag value` and
+/// `--flag=value` forms. Every flag must be declared in `bool_flags` or
+/// `value_flags`; anything else is an error naming the offending flag.
+///
+/// A flag in both lists takes a value only in the `=` form (`--trace` vs
+/// `--trace=FILE`).
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+fn parse_args(
+    args: &[String],
+    bool_flags: &[&str],
+    value_flags: &[&str],
+) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if value_flags.contains(&name) && i + 1 < args.len() {
-                flags.push((name.to_string(), args[i + 1].clone()));
-                i += 2;
-                continue;
+            if let Some((name, value)) = name.split_once('=') {
+                if !value_flags.contains(&name) && !bool_flags.contains(&name) {
+                    return Err(format!("unknown flag --{name}"));
+                }
+                flags.push((name.to_string(), value.to_string()));
+            } else if bool_flags.contains(&name) {
+                flags.push((name.to_string(), String::new()));
+            } else if value_flags.contains(&name) {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(format!("flag --{name} requires a value"));
+                };
+                flags.push((name.to_string(), value.clone()));
+                i += 1;
+            } else {
+                return Err(format!("unknown flag --{name}"));
             }
-            flags.push((name.to_string(), String::new()));
         } else {
             positional.push(a.clone());
         }
         i += 1;
     }
-    (positional, flags)
+    Ok((positional, flags))
 }
 
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -117,6 +144,20 @@ fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
+}
+
+/// `parse_args` + uniform error reporting: prints `error: ...` and yields
+/// exit code 2 on a bad flag.
+macro_rules! parse_or_exit {
+    ($args:expr, $bool_flags:expr, $value_flags:expr) => {
+        match parse_args($args, $bool_flags, $value_flags) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
 }
 
 fn cmd_devices() -> ExitCode {
@@ -135,7 +176,11 @@ fn cmd_devices() -> ExitCode {
 }
 
 fn cmd_compile(args: &[String]) -> ExitCode {
-    let (pos, flags) = parse_args(args, &["device", "out", "placement", "cost"]);
+    let (pos, flags) = parse_or_exit!(
+        args,
+        &["no-opt", "no-verify", "report", "trace"],
+        &["device", "out", "placement", "cost"]
+    );
     let [input] = pos.as_slice() else { usage() };
     let Some(device_name) = flag(&flags, "device") else {
         eprintln!("error: --device is required");
@@ -182,13 +227,25 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     };
     let eqn2 = TransmonCost::default();
     compiler = compiler.with_cost_model(cost);
+    match flag(&flags, "trace") {
+        None => {}
+        Some("") => {
+            compiler = compiler.with_trace(std::sync::Arc::new(JsonlSink::stderr()));
+        }
+        Some(path) => match JsonlSink::to_file(path) {
+            Ok(sink) => compiler = compiler.with_trace(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    }
 
-    let start = std::time::Instant::now();
     match compiler.compile(&circuit) {
         Ok(r) => {
             let qasm = r.optimized.to_qasm().expect("mapped output is QASM-ready");
             if flag(&flags, "report").is_some() {
-                eprintln!("{}", r.report(&eqn2));
+                eprintln!("{}", r.metrics().render_table());
             }
             eprintln!(
                 "mapped {:?} -> {}: {} (cost {:.2} -> {:.2}, -{:.1}%), verified = {:?}, {:.3}s",
@@ -199,7 +256,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 eqn2.circuit_cost(&r.optimized),
                 r.percent_cost_decrease(&eqn2),
                 r.verified,
-                start.elapsed().as_secs_f64(),
+                r.metrics().total_seconds,
             );
             match flag(&flags, "out") {
                 Some(path) => {
@@ -220,7 +277,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
-    let (pos, flags) = parse_args(args, &["ancilla"]);
+    let (pos, flags) = parse_or_exit!(args, &["miter"], &["ancilla"]);
     let [a, b] = pos.as_slice() else { usage() };
     match (load_circuit(a), load_circuit(b)) {
         (Ok(ca), Ok(cb)) => {
@@ -259,7 +316,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
 }
 
 fn cmd_stats(args: &[String]) -> ExitCode {
-    let (pos, _) = parse_args(args, &[]);
+    let (pos, _) = parse_or_exit!(args, &[], &[]);
     let [input] = pos.as_slice() else { usage() };
     match load_circuit(input) {
         Ok(c) => {
@@ -291,8 +348,44 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_check_trace(args: &[String]) -> ExitCode {
+    let (pos, _) = parse_or_exit!(args, &[], &[]);
+    let [input] = pos.as_slice() else { usage() };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut events = Vec::new();
+    for (k, line) in text.lines().enumerate() {
+        let parsed = qsyn::trace::json::parse(line)
+            .ok()
+            .and_then(|v| PassEvent::from_json(&v));
+        match parsed {
+            Some(e) => events.push(e),
+            None => {
+                eprintln!("error: {input}:{}: not a well-formed pass event", k + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for e in &events {
+        println!(
+            "{:<9} {:>8.3} ms  {:>4} gates  Δcost {:+.2}",
+            e.pass,
+            e.seconds * 1e3,
+            e.output.stats.volume,
+            e.cost_delta()
+        );
+    }
+    eprintln!("{}: {} well-formed pass events", input, events.len());
+    ExitCode::SUCCESS
+}
+
 fn cmd_synth(args: &[String]) -> ExitCode {
-    let (pos, flags) = parse_args(args, &["out"]);
+    let (pos, flags) = parse_or_exit!(args, &[], &["out"]);
     let [hex, vars] = pos.as_slice() else { usage() };
     let Ok(n) = vars.parse::<usize>() else {
         eprintln!("error: bad variable count `{vars}`");
@@ -328,7 +421,7 @@ fn cmd_synth(args: &[String]) -> ExitCode {
 }
 
 fn cmd_dot(args: &[String]) -> ExitCode {
-    let (pos, flags) = parse_args(args, &["device"]);
+    let (pos, flags) = parse_or_exit!(args, &[], &["device"]);
     if let Some(name) = flag(&flags, "device") {
         let device = match resolve_device(name) {
             Ok(d) => d,
@@ -360,7 +453,7 @@ fn cmd_dot(args: &[String]) -> ExitCode {
 }
 
 fn cmd_draw(args: &[String]) -> ExitCode {
-    let (pos, _) = parse_args(args, &[]);
+    let (pos, _) = parse_or_exit!(args, &[], &[]);
     let [input] = pos.as_slice() else { usage() };
     match load_circuit(input) {
         Ok(c) => {
@@ -388,6 +481,7 @@ fn main() -> ExitCode {
             "devices" => cmd_devices(),
             "compile" => cmd_compile(rest),
             "check" => cmd_check(rest),
+            "check-trace" => cmd_check_trace(rest),
             "stats" => cmd_stats(rest),
             "synth" => cmd_synth(rest),
             "dot" => cmd_dot(rest),

@@ -19,6 +19,8 @@
 //!   cascades);
 //! * [`core`] — the compiler back-end (decomposition, CTR routing, local
 //!   optimization, verification);
+//! * [`trace`] — pass-level observability: structured per-pass events,
+//!   timing, and pluggable sinks (see `docs/OBSERVABILITY.md`);
 //! * [`bench`](mod@crate::bench) — benchmark workloads and the experiment harness that
 //!   regenerates every table of the paper.
 //!
@@ -50,6 +52,7 @@ pub use qsyn_core as core;
 pub use qsyn_esop as esop;
 pub use qsyn_gate as gate;
 pub use qsyn_qmdd as qmdd;
+pub use qsyn_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -58,8 +61,8 @@ pub mod prelude {
     };
     pub use qsyn_circuit::{Circuit, CircuitStats};
     pub use qsyn_core::{
-        CompileError, CompileResult, Compiler, DecomposeStrategy, PlacementStrategy,
-        RoutingObjective, SwapStrategy, Verification,
+        CompileError, CompileResult, Compiler, DecomposeStrategy, Optimization, OptimizeConfig,
+        PlacementStrategy, RoutingObjective, SwapStrategy, Verification,
     };
     pub use qsyn_esop::{
         cascade_from_esop, parse_pla, synthesize_multi_output, synthesize_single_target, Cube,
@@ -67,4 +70,7 @@ pub mod prelude {
     };
     pub use qsyn_gate::{Gate, Matrix, SingleOp, C64};
     pub use qsyn_qmdd::{circuits_equal, equivalent, equivalent_miter, Qmdd, Simulator};
+    pub use qsyn_trace::{
+        CompileMetrics, JsonlSink, NullSink, Pass, PassEvent, TableSink, TraceSink,
+    };
 }

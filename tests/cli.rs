@@ -276,3 +276,113 @@ fn no_args_prints_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 }
+
+#[test]
+fn unknown_flag_is_named_in_the_error() {
+    let input = tmp("tof6.real", TOFFOLI_REAL);
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        "--frobnicate",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("unknown flag --frobnicate"), "{log}");
+}
+
+#[test]
+fn value_flag_missing_its_value_is_named() {
+    let input = tmp("tof7.real", TOFFOLI_REAL);
+    let out = qsyn(&["compile", input.to_str().unwrap(), "--device"]);
+    assert_eq!(out.status.code(), Some(2));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("flag --device requires a value"), "{log}");
+}
+
+#[test]
+fn compile_trace_file_emits_one_jsonl_event_per_pass() {
+    let input = tmp("tof8.real", TOFFOLI_REAL);
+    let trace = tmp("tof8.trace.jsonl", "");
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        &format!("--trace={}", trace.to_str().unwrap()),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "one event per Fig. 2 pass:\n{text}");
+    let mut passes = Vec::new();
+    for line in lines {
+        let v = qsyn::trace::json::parse(line).expect("well-formed JSON");
+        let e = qsyn::trace::PassEvent::from_json(&v).expect("a pass event");
+        assert!(e.seconds >= 0.0);
+        passes.push(e.pass);
+    }
+    assert_eq!(passes, qsyn::trace::Pass::FIG2_ORDER);
+}
+
+#[test]
+fn compile_bare_trace_streams_jsonl_to_stderr() {
+    let input = tmp("tof9.real", TOFFOLI_REAL);
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        "--trace",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = String::from_utf8_lossy(&out.stderr);
+    let events: Vec<&str> = log.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(events.len(), 5, "{log}");
+    for line in events {
+        qsyn::trace::json::parse(line).expect("well-formed JSON on stderr");
+    }
+}
+
+#[test]
+fn check_trace_validates_jsonl_files() {
+    let input = tmp("tof11.real", TOFFOLI_REAL);
+    let trace = tmp("tof11.trace.jsonl", "");
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        &format!("--trace={}", trace.to_str().unwrap()),
+    ]);
+    assert!(out.status.success());
+
+    let ok = qsyn(&["check-trace", trace.to_str().unwrap()]);
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(String::from_utf8_lossy(&ok.stderr).contains("5 well-formed pass events"));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("optimize"));
+
+    let broken = tmp("broken.jsonl", "{\"pass\":\"route\"\nnot json\n");
+    let bad = qsyn(&["check-trace", broken.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains(":1:"), "names the line");
+}
+
+#[test]
+fn compile_report_renders_the_stage_table() {
+    let input = tmp("tof10.real", TOFFOLI_REAL);
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        "--report",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = String::from_utf8_lossy(&out.stderr);
+    for pass in ["place", "decompose", "route", "optimize"] {
+        assert!(log.contains(pass), "missing {pass} row:\n{log}");
+    }
+    assert!(log.contains("QMDD verification: passed"), "{log}");
+}
