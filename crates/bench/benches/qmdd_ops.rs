@@ -88,5 +88,61 @@ fn bench_equivalence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gate_construction, bench_circuit_product, bench_equivalence);
+fn bench_gc_sweep(c: &mut Criterion) {
+    // Equivalence under garbage collection: `off` runs with an effectively
+    // infinite watermark (peak arena = every node ever built); `forced`
+    // uses a low watermark so mark-and-sweep fires repeatedly mid-check.
+    // The verdict is identical either way — this group tracks what the
+    // sweeps themselves cost.
+    let mut group = c.benchmark_group("qmdd_gc_sweep");
+    group.sample_size(20);
+    let n = 6;
+    let a = random_circuit(n, 160, 0x5eed_cafe_f00d_d00d);
+    for (label, watermark) in [("off", usize::MAX), ("forced", 1 << 10)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &a, |b, a| {
+            b.iter(|| {
+                let r = qsyn_qmdd::equivalent_with_gc_threshold(a, a, Some(watermark));
+                black_box((r.equivalent, r.gc_runs, r.nodes_reclaimed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    // Parallel sweep engine: the same batch of independent compilations
+    // through `par_map` at 1 worker vs. all CPUs.
+    use qsyn_arch::devices;
+    use qsyn_bench::par::{default_jobs, par_map};
+    use qsyn_core::{Compiler, Verification};
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    let circuits: Vec<Circuit> = (0..8)
+        .map(|i| random_circuit(4, 40, 0x1234_5678 + i))
+        .collect();
+    for jobs in [1usize, default_jobs()] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let results = par_map(&circuits, jobs, |_, circ| {
+                    Compiler::new(devices::ibmqx5())
+                        .with_verification(Verification::None)
+                        .compile(circ)
+                        .map(|r| r.optimized.len())
+                });
+                black_box(results)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_construction,
+    bench_circuit_product,
+    bench_equivalence,
+    bench_gc_sweep,
+    bench_sweep_throughput
+);
 criterion_main!(benches);

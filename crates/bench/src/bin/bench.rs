@@ -1,0 +1,161 @@
+//! Performance baseline harness: `bench perf` measures the QMDD hot paths
+//! and the parallel sweep engine, then writes `BENCH_qmdd.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench -- perf [--jobs N] [--out FILE]
+//! ```
+//!
+//! The report has three sections:
+//!
+//! * `qmdd` — single-threaded miter verification of the largest Table 7
+//!   benchmark, once with garbage collection effectively disabled (the
+//!   `baseline` figures: peak node count with no sweeps) and once with a
+//!   forcing watermark (`current`: sweeps fire, peak drops, verdict
+//!   unchanged);
+//! * `pass_seconds` — wall time per Fig. 2 pass summed over a serial
+//!   Table 5 sweep;
+//! * `sweep` — the full Table 5 sweep (QMDD verification on) at `--jobs 1`
+//!   vs `--jobs N`, with the resulting speedup.
+//!
+//! See `docs/PERFORMANCE.md` for how to read the numbers.
+
+use qsyn_arch::devices;
+use qsyn_bench::big::BIG_BENCHMARKS;
+use qsyn_bench::par::jobs_from_args;
+use qsyn_bench::report::run_table5_jobs;
+use qsyn_core::{Compiler, Verification};
+use qsyn_qmdd::{equivalent_miter_with_gc_threshold, EquivReport};
+use qsyn_trace::json::Value;
+use qsyn_trace::{Pass, TableSink};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// GC watermark used for the `current` figures: low enough that the miter
+/// product of a Table 7 benchmark crosses it several times.
+const FORCING_WATERMARK: usize = 1 << 12;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn report_json(seconds: f64, r: &EquivReport) -> Value {
+    obj(vec![
+        ("seconds", Value::Num(seconds)),
+        ("equivalent", Value::Bool(r.equivalent)),
+        ("peak_nodes", Value::Num(r.peak_nodes as f64)),
+        ("unique_nodes", Value::Num(r.unique_nodes as f64)),
+        ("cache_lookups", Value::Num(r.cache_lookups as f64)),
+        ("cache_hit_rate", Value::Num(r.cache_hit_rate())),
+        ("cache_evictions", Value::Num(r.cache_evictions as f64)),
+        ("gc_runs", Value::Num(r.gc_runs as f64)),
+        ("nodes_reclaimed", Value::Num(r.nodes_reclaimed as f64)),
+    ])
+}
+
+fn qmdd_section() -> Value {
+    // The largest Table 7 benchmark (T10_b) compiled for qc96, then
+    // miter-verified twice: GC off vs. a forcing watermark.
+    let bench = BIG_BENCHMARKS.last().expect("table 7 is non-empty");
+    let spec = bench.circuit();
+    let compiled = Compiler::new(devices::qc96())
+        .with_verification(Verification::None)
+        .compile(&spec)
+        .expect("qc96 hosts every Table 7 benchmark");
+
+    let t = Instant::now();
+    let baseline =
+        equivalent_miter_with_gc_threshold(&compiled.placed, &compiled.optimized, Some(usize::MAX));
+    let baseline_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let current = equivalent_miter_with_gc_threshold(
+        &compiled.placed,
+        &compiled.optimized,
+        Some(FORCING_WATERMARK),
+    );
+    let current_s = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        baseline.equivalent, current.equivalent,
+        "GC must not change the verification verdict"
+    );
+    obj(vec![
+        ("circuit", Value::Str(bench.name.to_string())),
+        ("gc_watermark", Value::Num(FORCING_WATERMARK as f64)),
+        ("baseline", report_json(baseline_s, &baseline)),
+        ("current", report_json(current_s, &current)),
+    ])
+}
+
+fn perf(jobs: usize, out: &str) {
+    eprintln!("bench perf: QMDD section (largest Table 7 benchmark)...");
+    let qmdd = qmdd_section();
+
+    eprintln!("bench perf: serial Table 5 sweep (per-pass timing)...");
+    let sink = Arc::new(TableSink::new());
+    let t = Instant::now();
+    let _ = run_table5_jobs(true, Some(sink.clone()), 1);
+    let serial_s = t.elapsed().as_secs_f64();
+    let events = sink.events();
+    let pass_seconds = obj(Pass::FIG2_ORDER
+        .iter()
+        .map(|p| {
+            let total: f64 = events
+                .iter()
+                .filter(|e| e.pass == *p)
+                .map(|e| e.seconds)
+                .sum();
+            (p.name(), Value::Num(total))
+        })
+        .collect());
+
+    eprintln!("bench perf: parallel Table 5 sweep (--jobs {jobs})...");
+    let t = Instant::now();
+    let _ = run_table5_jobs(true, None, jobs);
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    let sweep = obj(vec![
+        ("jobs", Value::Num(jobs as f64)),
+        ("table5_seconds_jobs1", Value::Num(serial_s)),
+        ("table5_seconds_jobsN", Value::Num(parallel_s)),
+        ("speedup", Value::Num(serial_s / parallel_s)),
+    ]);
+
+    let report = obj(vec![
+        ("schema", Value::Str("qsyn-bench-perf/1".to_string())),
+        ("qmdd", qmdd),
+        ("pass_seconds", pass_seconds),
+        ("sweep", sweep),
+    ]);
+    let text = format!("{report}\n");
+    if let Err(e) = std::fs::write(out, &text) {
+        eprintln!("error: {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{text}");
+    eprintln!("bench perf: wrote {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(jobs) = jobs_from_args(&args) else {
+        eprintln!("error: --jobs requires a positive integer");
+        std::process::exit(2);
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
+        })
+        .unwrap_or_else(|| "BENCH_qmdd.json".to_string());
+    match args.first().map(String::as_str) {
+        Some("perf") => perf(jobs, &out),
+        _ => {
+            eprintln!("usage: bench perf [--jobs N] [--out FILE]");
+            std::process::exit(2);
+        }
+    }
+}

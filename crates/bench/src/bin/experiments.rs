@@ -7,8 +7,12 @@
 //!
 //! Pass `--no-verify` to skip the QMDD equivalence checks (they are part of
 //! the paper's flow and on by default). Pass `--trace FILE` to stream one
-//! JSON line per compiler pass of every benchmark mapping to FILE.
+//! JSON line per compiler pass of every benchmark mapping to FILE (each
+//! line carries a job id so interleaved parallel streams stay parseable).
+//! Pass `--jobs N` to fan the (circuit, device) jobs across N worker
+//! threads (default: all CPUs); results are identical for every N.
 
+use qsyn_bench::par::jobs_from_args;
 use qsyn_bench::report::*;
 use qsyn_trace::{JsonlSink, TraceSink};
 use std::sync::Arc;
@@ -17,6 +21,10 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let verify = !args.iter().any(|a| a == "--no-verify");
+    let Some(jobs) = jobs_from_args(&args) else {
+        eprintln!("error: --jobs requires a positive integer");
+        std::process::exit(2);
+    };
     let trace: Option<Arc<dyn TraceSink>> = match args.iter().position(|a| a == "--trace") {
         None => None,
         Some(i) => {
@@ -40,13 +48,14 @@ fn main() {
         "QMDD verification of every compiled output: **{}**\n",
         if verify { "on" } else { "off" }
     );
+    println!("Sweep worker threads: **{jobs}**\n");
 
     println!("## Table 2 — device coupling complexity (exact)\n");
     print!("{}", render_table2(&run_table2()));
 
     println!("\n## Table 3 — single-target gates mapped to IBM devices\n");
     let t3 = Instant::now();
-    let rows3 = run_table3_traced(verify, trace.clone());
+    let rows3 = run_table3_jobs(verify, trace.clone(), jobs);
     print!("{}", render_table3(&rows3));
     println!("\n## Table 4 — percent cost decrease (single-target gates)\n");
     print!("{}", render_table4(&rows3));
@@ -54,7 +63,7 @@ fn main() {
 
     println!("\n## Table 5 — RevLib Toffoli cascades mapped to IBM devices\n");
     let t5 = Instant::now();
-    let rows5 = run_table5_traced(verify, trace.clone());
+    let rows5 = run_table5_jobs(verify, trace.clone(), jobs);
     print!("{}", render_table5(&rows5));
     println!("\n## Table 6 — percent cost decrease (RevLib cascades)\n");
     print!("{}", render_table6(&rows5));
@@ -65,7 +74,7 @@ fn main() {
 
     println!("\n## Table 8 — 96-qubit compilation results\n");
     let t8 = Instant::now();
-    let rows8 = run_table8_traced(verify, trace.clone());
+    let rows8 = run_table8_jobs(verify, trace.clone(), jobs);
     print!("{}", render_table8(&rows8));
     let t8 = t8.elapsed().as_secs_f64();
 

@@ -4,51 +4,96 @@
 //! error aborts loudly.
 //!
 //! ```text
-//! cargo run --release --bin stress [-- <count-per-device>]
+//! cargo run --release --bin stress [-- <count-per-device> [--jobs N]]
 //! ```
+//!
+//! `--jobs N` fans the (device, seed) compilations across N worker threads
+//! (default: all CPUs). The aggregate summary is deterministic for every N
+//! because each job is an independent seeded compilation.
 
 use qsyn_arch::{devices, TransmonCost};
+use qsyn_bench::par::{jobs_from_args, par_map};
 use qsyn_bench::random::random_classical;
 use qsyn_core::{CompileError, Compiler};
 
+enum Outcome {
+    Compiled { expansion: f64, improved: bool },
+    NotApplicable,
+}
+
 fn main() {
-    let count: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(25);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(jobs) = jobs_from_args(&args) else {
+        eprintln!("error: --jobs requires a positive integer");
+        std::process::exit(2);
+    };
+    // First positional arg (skipping --jobs and its value) is the count.
+    let mut positional = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+        } else if a == "--jobs" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            positional.push(a.clone());
+        }
+    }
+    let count: u64 = positional.first().and_then(|a| a.parse().ok()).unwrap_or(25);
     let cost = TransmonCost::default();
+
+    let cases: Vec<(qsyn_arch::Device, u64)> = devices::ibm_devices()
+        .into_iter()
+        .flat_map(|d| (0..count).map(move |seed| (d.clone(), seed)))
+        .collect();
+
+    let outcomes = par_map(&cases, jobs, |_, (device, seed)| {
+        let lines = device.n_qubits().min(6);
+        let circuit = random_classical(lines, 12, seed * 31 + 7);
+        match Compiler::new(device.clone()).compile(&circuit) {
+            Ok(r) => {
+                assert_eq!(
+                    r.verified,
+                    Some(true),
+                    "VERIFICATION FAILED: seed {seed} on {}",
+                    device.name()
+                );
+                Outcome::Compiled {
+                    expansion: r.optimized.len() as f64 / circuit.len() as f64,
+                    improved: r.percent_cost_decrease(&cost) > 0.0,
+                }
+            }
+            Err(CompileError::NoAncilla { .. }) | Err(CompileError::TooWide { .. }) => {
+                Outcome::NotApplicable
+            }
+            Err(e) => panic!("unexpected error: seed {seed} on {}: {e}", device.name()),
+        }
+    });
+
     let mut compiled = 0usize;
     let mut na = 0usize;
     let mut improved = 0usize;
     let mut expansion_sum = 0.0f64;
-
-    for device in devices::ibm_devices() {
-        let lines = device.n_qubits().min(6);
-        for seed in 0..count {
-            let circuit = random_classical(lines, 12, seed * 31 + 7);
-            match Compiler::new(device.clone()).compile(&circuit) {
-                Ok(r) => {
-                    assert_eq!(
-                        r.verified,
-                        Some(true),
-                        "VERIFICATION FAILED: seed {seed} on {}",
-                        device.name()
-                    );
-                    compiled += 1;
-                    expansion_sum += r.optimized.len() as f64 / circuit.len() as f64;
-                    if r.percent_cost_decrease(&cost) > 0.0 {
-                        improved += 1;
-                    }
+    for o in &outcomes {
+        match o {
+            Outcome::Compiled {
+                expansion,
+                improved: imp,
+            } => {
+                compiled += 1;
+                expansion_sum += expansion;
+                if *imp {
+                    improved += 1;
                 }
-                Err(CompileError::NoAncilla { .. }) | Err(CompileError::TooWide { .. }) => {
-                    na += 1;
-                }
-                Err(e) => panic!("unexpected error: seed {seed} on {}: {e}", device.name()),
             }
+            Outcome::NotApplicable => na += 1,
         }
     }
 
-    println!("stress run: {} circuits per device x {} devices", count, 5);
+    println!(
+        "stress run: {} circuits per device x {} devices (jobs = {jobs})",
+        count, 5
+    );
     println!("  compiled + verified : {compiled}");
     println!("  N/A (legitimate)    : {na}");
     println!(

@@ -3,10 +3,15 @@
 //! your own benchmark suite.
 //!
 //! ```text
-//! cargo run --release --bin suite -- <dir> [device ...]
+//! cargo run --release --bin suite -- <dir> [--jobs N] [device ...]
 //! ```
+//!
+//! `--jobs N` fans the (circuit, device) compilations across N worker
+//! threads (default: all CPUs); the table is printed in directory order
+//! regardless of which job finished first.
 
 use qsyn_arch::{devices, CostModel, TransmonCost};
+use qsyn_bench::par::{jobs_from_args, par_map};
 use qsyn_circuit::Circuit;
 use qsyn_core::{CompileError, Compiler};
 use std::path::Path;
@@ -30,12 +35,31 @@ fn load(path: &Path) -> Result<Circuit, String> {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(dir) = args.next() else {
-        eprintln!("usage: suite <dir> [device ...]");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(jobs) = jobs_from_args(&raw) else {
+        eprintln!("error: --jobs requires a positive integer");
         std::process::exit(2);
     };
-    let device_names: Vec<String> = args.collect();
+    // Drop the --jobs flag (and its value) before positional parsing.
+    let mut positional: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &raw {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--jobs" {
+            skip_next = true;
+        } else if !a.starts_with("--jobs=") {
+            positional.push(a.clone());
+        }
+    }
+    let mut positional = positional.into_iter();
+    let Some(dir) = positional.next() else {
+        eprintln!("usage: suite <dir> [--jobs N] [device ...]");
+        std::process::exit(2);
+    };
+    let device_names: Vec<String> = positional.collect();
     let devs: Vec<_> = if device_names.is_empty() {
         devices::ibm_devices()
     } else {
@@ -61,49 +85,62 @@ fn main() {
         std::process::exit(1);
     }
 
+    let circuits: Vec<Circuit> = paths
+        .iter()
+        .filter_map(|path| match load(path) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                None
+            }
+        })
+        .collect();
+
     let cost = TransmonCost::default();
+    // One job per (circuit, device) pair, row-major so output order is the
+    // directory order no matter how the pool schedules them.
+    let pairs: Vec<(usize, usize)> = (0..circuits.len())
+        .flat_map(|c| (0..devs.len()).map(move |d| (c, d)))
+        .collect();
+    let cells: Vec<String> = par_map(&pairs, jobs, |_, &(c, d)| {
+        let circuit = &circuits[c];
+        match Compiler::new(devs[d].clone()).compile(circuit) {
+            Ok(r) => {
+                let (u, o) = (r.unoptimized.stats(), r.optimized.stats());
+                assert_eq!(r.verified, Some(true), "verification failed");
+                format!(
+                    " {}/{}/{:.1} -> {}/{}/{:.1}, {:.1}% |",
+                    u.t_count,
+                    u.volume,
+                    cost.cost(&u),
+                    o.t_count,
+                    o.volume,
+                    cost.cost(&o),
+                    r.percent_cost_decrease(&cost)
+                )
+            }
+            Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => {
+                " N/A |".to_string()
+            }
+            Err(e) => panic!("{:?}: {e}", circuit.name()),
+        }
+    });
+
     print!("| circuit | qubits | gates |");
     for d in &devs {
         print!(" {} (T/g/cost -> T/g/cost, %dec) |", d.name());
     }
     println!();
     println!("|{}", "---|".repeat(3 + devs.len()));
-
-    for path in &paths {
-        let circuit = match load(path) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("skipping {}: {e}", path.display());
-                continue;
-            }
-        };
+    for (c, circuit) in circuits.iter().enumerate() {
         print!(
             "| {} | {} | {} |",
             circuit.name().unwrap_or("?"),
             circuit.n_qubits(),
             circuit.len()
         );
-        for d in &devs {
-            match Compiler::new(d.clone()).compile(&circuit) {
-                Ok(r) => {
-                    let (u, o) = (r.unoptimized.stats(), r.optimized.stats());
-                    assert_eq!(r.verified, Some(true), "verification failed");
-                    print!(
-                        " {}/{}/{:.1} -> {}/{}/{:.1}, {:.1}% |",
-                        u.t_count,
-                        u.volume,
-                        cost.cost(&u),
-                        o.t_count,
-                        o.volume,
-                        cost.cost(&o),
-                        r.percent_cost_decrease(&cost)
-                    );
-                }
-                Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => {
-                    print!(" N/A |");
-                }
-                Err(e) => panic!("{}: {e}", path.display()),
-            }
+        for d in 0..devs.len() {
+            print!("{}", cells[c * devs.len() + d]);
         }
         println!();
     }

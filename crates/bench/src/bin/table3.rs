@@ -1,16 +1,23 @@
 //! Regenerates paper Table 3: the "Optimal Single-target Gates" suite
 //! mapped to the five IBM devices, unoptimized and optimized, with the
 //! technology-independent reference forms. Pass `--no-verify` to skip the
-//! built-in QMDD equivalence checks.
+//! built-in QMDD equivalence checks and `--jobs N` to fan the sweep across
+//! N worker threads (default: all CPUs).
 
-use qsyn_bench::report::{render_table3, render_table4, run_table3};
+use qsyn_bench::par::jobs_from_args;
+use qsyn_bench::report::{render_table3, render_table4, run_table3_jobs};
 
 fn main() {
-    let verify = !std::env::args().any(|a| a == "--no-verify");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let Some(jobs) = jobs_from_args(&args) else {
+        eprintln!("error: --jobs requires a positive integer");
+        std::process::exit(2);
+    };
     println!(
-        "Table 3: single-target gates on IBM devices (verify = {verify})\n"
+        "Table 3: single-target gates on IBM devices (verify = {verify}, jobs = {jobs})\n"
     );
-    let rows = run_table3(verify);
+    let rows = run_table3_jobs(verify, None, jobs);
     print!("{}", render_table3(&rows));
     println!("\nTable 4: percent cost decrease after optimization\n");
     print!("{}", render_table4(&rows));

@@ -1,12 +1,21 @@
 //! Regenerates paper Table 5: RevLib Toffoli cascades mapped to the five
-//! IBM devices. Pass `--no-verify` to skip QMDD checks.
+//! IBM devices. Pass `--no-verify` to skip QMDD checks and `--jobs N` to
+//! fan the sweep across N worker threads (default: all CPUs).
 
-use qsyn_bench::report::{render_table5, render_table6, run_table5};
+use qsyn_bench::par::jobs_from_args;
+use qsyn_bench::report::{render_table5, render_table6, run_table5_jobs};
 
 fn main() {
-    let verify = !std::env::args().any(|a| a == "--no-verify");
-    println!("Table 5: RevLib Toffoli cascades on IBM devices (verify = {verify})\n");
-    let rows = run_table5(verify);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let Some(jobs) = jobs_from_args(&args) else {
+        eprintln!("error: --jobs requires a positive integer");
+        std::process::exit(2);
+    };
+    println!(
+        "Table 5: RevLib Toffoli cascades on IBM devices (verify = {verify}, jobs = {jobs})\n"
+    );
+    let rows = run_table5_jobs(verify, None, jobs);
     print!("{}", render_table5(&rows));
     println!("\nTable 6: percent cost decrease after optimization\n");
     print!("{}", render_table6(&rows));

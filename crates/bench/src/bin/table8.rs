@@ -1,12 +1,21 @@
 //! Regenerates paper Table 8: the Table 7 benchmarks compiled for the
 //! 96-qubit Fig. 7 machine, unoptimized and optimized, with percent cost
 //! decrease and QMDD verification. Pass `--no-verify` to skip the (wide)
-//! miter equivalence checks.
+//! miter equivalence checks and `--jobs N` to compile the benchmarks on N
+//! worker threads (default: all CPUs).
 
-use qsyn_bench::report::{render_table8, run_table8};
+use qsyn_bench::par::jobs_from_args;
+use qsyn_bench::report::{render_table8, run_table8_jobs};
 
 fn main() {
-    let verify = !std::env::args().any(|a| a == "--no-verify");
-    println!("Table 8: 96-qubit QC benchmark compilation results (verify = {verify})\n");
-    print!("{}", render_table8(&run_table8(verify)));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let Some(jobs) = jobs_from_args(&args) else {
+        eprintln!("error: --jobs requires a positive integer");
+        std::process::exit(2);
+    };
+    println!(
+        "Table 8: 96-qubit QC benchmark compilation results (verify = {verify}, jobs = {jobs})\n"
+    );
+    print!("{}", render_table8(&run_table8_jobs(verify, None, jobs)));
 }

@@ -25,6 +25,7 @@ pub mod algorithms;
 pub mod arith;
 pub mod big;
 pub mod noise;
+pub mod par;
 pub mod random;
 pub mod report;
 pub mod revlib;

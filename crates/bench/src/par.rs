@@ -1,0 +1,139 @@
+//! A small work-stealing-free parallel map for benchmark sweeps.
+//!
+//! The sweep binaries fan (circuit, device) compilation jobs across a pool
+//! of OS threads. Each job owns its own [`qsyn_core::Compiler`] (and hence
+//! its own QMDD package), so workers share nothing but the input slice and
+//! the output slots; results are collected in **input order** regardless of
+//! which worker finished first, keeping sweep output deterministic.
+//!
+//! This is a hand-rolled `std::thread` pool rather than a rayon dependency
+//! so the workspace builds in offline environments. The scheduling is a
+//! single shared atomic cursor: workers repeatedly claim the next unclaimed
+//! index, which balances load well when per-job cost varies by orders of
+//! magnitude (small STG functions vs. 96-qubit cascades).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default worker count for `--jobs`: the number of available CPUs.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `--jobs N` (or `--jobs=N`) flag from pre-collected CLI args.
+///
+/// Returns [`default_jobs`] when the flag is absent and `None` when its
+/// value is missing or not a positive integer (callers report the usage
+/// error themselves).
+pub fn jobs_from_args(args: &[String]) -> Option<usize> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--jobs" {
+            return args.get(i + 1).and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    Some(default_jobs())
+}
+
+/// Applies `f` to every item, using up to `jobs` worker threads, and
+/// returns the results in input order.
+///
+/// `f` receives the item's index (sweeps use it as the job id stamped on
+/// trace events) and the item itself. With `jobs <= 1` the map runs inline
+/// on the calling thread with no pool at all, so serial runs behave exactly
+/// as before the executor existed.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker once all threads have been joined.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    // One mutex per slot: a worker only ever locks the slot it claimed, so
+    // there is no contention — the mutex is just the portable way to write
+    // into shared storage from scoped threads.
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let square = |_: usize, &x: &u64| x * x;
+        assert_eq!(par_map(&items, 1, square), par_map(&items, 8, square));
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, 64, |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u8; 0] = [];
+        assert!(par_map(&items, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_flag_parses_both_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from_args(&args(&["--jobs", "4"])), Some(4));
+        assert_eq!(jobs_from_args(&args(&["--jobs=8"])), Some(8));
+        assert_eq!(jobs_from_args(&args(&[])), Some(default_jobs()));
+        assert_eq!(jobs_from_args(&args(&["--jobs"])), None);
+        assert_eq!(jobs_from_args(&args(&["--jobs", "zero"])), None);
+        assert_eq!(jobs_from_args(&args(&["--jobs", "0"])), None);
+    }
+}

@@ -8,6 +8,7 @@
 //! `cargo run --bin experiments`.
 
 use crate::big::{BigBenchmark, BIG_BENCHMARKS};
+use crate::par::par_map;
 use crate::revlib::{RevlibBenchmark, REVLIB_BENCHMARKS};
 use crate::stg::{StgFunction, STG_FUNCTIONS};
 use qsyn_arch::{devices, CostModel, Device, TransmonCost};
@@ -64,6 +65,23 @@ pub fn map_benchmark_traced(
     verify: bool,
     trace: Option<Arc<dyn TraceSink>>,
 ) -> Cell {
+    map_benchmark_job(circuit, device, verify, trace, None)
+}
+
+/// [`map_benchmark_traced`] with an optional sweep job id: every pass
+/// event the compilation emits carries `job`, so events from concurrent
+/// jobs interleaved in one JSONL stream stay attributable.
+///
+/// # Panics
+///
+/// Same contract as [`map_benchmark`].
+pub fn map_benchmark_job(
+    circuit: &Circuit,
+    device: &Device,
+    verify: bool,
+    trace: Option<Arc<dyn TraceSink>>,
+    job: Option<u64>,
+) -> Cell {
     let cost = TransmonCost::default();
     let mut compiler = Compiler::new(device.clone()).with_verification(if verify {
         Verification::Auto
@@ -72,6 +90,9 @@ pub fn map_benchmark_traced(
     });
     if let Some(sink) = trace {
         compiler = compiler.with_trace(sink);
+    }
+    if let Some(id) = job {
+        compiler = compiler.with_job_id(id);
     }
     match compiler.compile(circuit) {
         Ok(r) => {
@@ -185,20 +206,41 @@ pub fn run_table3(verify: bool) -> Vec<Table3Row> {
 
 /// [`run_table3`] streaming every compiler pass to an optional sink.
 pub fn run_table3_traced(verify: bool, trace: Option<Arc<dyn TraceSink>>) -> Vec<Table3Row> {
+    run_table3_jobs(verify, trace, 1)
+}
+
+/// [`run_table3_traced`] fanning the (function, device) jobs across up to
+/// `jobs` worker threads. Each job compiles with its own QMDD package and
+/// is stamped with a row-major job id, so results (and per-pass trace
+/// attribution) are identical for every `jobs` value.
+pub fn run_table3_jobs(
+    verify: bool,
+    trace: Option<Arc<dyn TraceSink>>,
+    jobs: usize,
+) -> Vec<Table3Row> {
     let devs = devices::ibm_devices();
+    let cascades: Vec<Circuit> = STG_FUNCTIONS.iter().map(StgFunction::cascade).collect();
+    let pairs = job_pairs(cascades.len(), devs.len());
+    let cells = par_map(&pairs, jobs, |job, &(f, d)| {
+        map_benchmark_job(&cascades[f], &devs[d], verify, trace.clone(), Some(job as u64))
+    });
+    let tech = par_map(&cascades, jobs, |_, c| tech_independent_metrics(c));
     STG_FUNCTIONS
         .iter()
-        .map(|f| {
-            let cascade = f.cascade();
-            Table3Row {
-                function: *f,
-                tech_independent: tech_independent_metrics(&cascade),
-                cells: devs
-                    .iter()
-                    .map(|d| map_benchmark_traced(&cascade, d, verify, trace.clone()))
-                    .collect(),
-            }
+        .enumerate()
+        .map(|(i, f)| Table3Row {
+            function: *f,
+            tech_independent: tech[i],
+            cells: cells[i * devs.len()..(i + 1) * devs.len()].to_vec(),
         })
+        .collect()
+}
+
+/// Row-major (benchmark, device) job list: job id = `b * n_devices + d`,
+/// stable across `--jobs` values.
+fn job_pairs(n_benchmarks: usize, n_devices: usize) -> Vec<(usize, usize)> {
+    (0..n_benchmarks)
+        .flat_map(|b| (0..n_devices).map(move |d| (b, d)))
         .collect()
 }
 
@@ -327,15 +369,28 @@ pub fn run_table5(verify: bool) -> Vec<Table5Row> {
 
 /// [`run_table5`] streaming every compiler pass to an optional sink.
 pub fn run_table5_traced(verify: bool, trace: Option<Arc<dyn TraceSink>>) -> Vec<Table5Row> {
+    run_table5_jobs(verify, trace, 1)
+}
+
+/// [`run_table5_traced`] fanning the (benchmark, device) jobs across up to
+/// `jobs` worker threads (see [`run_table3_jobs`] for the job-id scheme).
+pub fn run_table5_jobs(
+    verify: bool,
+    trace: Option<Arc<dyn TraceSink>>,
+    jobs: usize,
+) -> Vec<Table5Row> {
     let devs = devices::ibm_devices();
+    let circuits: Vec<Circuit> = REVLIB_BENCHMARKS.iter().map(RevlibBenchmark::circuit).collect();
+    let pairs = job_pairs(circuits.len(), devs.len());
+    let cells = par_map(&pairs, jobs, |job, &(b, d)| {
+        map_benchmark_job(&circuits[b], &devs[d], verify, trace.clone(), Some(job as u64))
+    });
     REVLIB_BENCHMARKS
         .iter()
-        .map(|b| Table5Row {
+        .enumerate()
+        .map(|(i, b)| Table5Row {
             benchmark: *b,
-            cells: devs
-                .iter()
-                .map(|d| map_benchmark_traced(&b.circuit(), d, verify, trace.clone()))
-                .collect(),
+            cells: cells[i * devs.len()..(i + 1) * devs.len()].to_vec(),
         })
         .collect()
 }
@@ -393,13 +448,28 @@ pub fn run_table8(verify: bool) -> Vec<Table8Row> {
 
 /// [`run_table8`] streaming every compiler pass to an optional sink.
 pub fn run_table8_traced(verify: bool, trace: Option<Arc<dyn TraceSink>>) -> Vec<Table8Row> {
+    run_table8_jobs(verify, trace, 1)
+}
+
+/// [`run_table8_traced`] fanning one job per benchmark across up to `jobs`
+/// worker threads (job id = benchmark index).
+pub fn run_table8_jobs(
+    verify: bool,
+    trace: Option<Arc<dyn TraceSink>>,
+    jobs: usize,
+) -> Vec<Table8Row> {
     let d = devices::qc96();
+    let circuits: Vec<Circuit> = BIG_BENCHMARKS.iter().map(BigBenchmark::circuit).collect();
+    let metrics = par_map(&circuits, jobs, |job, c| {
+        map_benchmark_job(c, &d, verify, trace.clone(), Some(job as u64))
+            .expect("qc96 hosts every Table 7 benchmark")
+    });
     BIG_BENCHMARKS
         .iter()
-        .map(|b| Table8Row {
+        .zip(metrics)
+        .map(|(b, m)| Table8Row {
             benchmark: *b,
-            metrics: map_benchmark_traced(&b.circuit(), &d, verify, trace.clone())
-                .expect("qc96 hosts every Table 7 benchmark"),
+            metrics: m,
         })
         .collect()
 }
@@ -504,6 +574,64 @@ mod tests {
         assert_eq!(traced.pct_decrease, plain.pct_decrease);
         // One event per Fig. 2 pass: place, decompose, route, optimize, verify.
         assert_eq!(sink.events().len(), 5);
+    }
+
+    fn same_metrics_ignoring_time(a: &Cell, b: &Cell) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.unopt, y.unopt);
+                assert_eq!(x.opt, y.opt);
+                assert_eq!(x.pct_decrease, y.pct_decrease);
+                assert_eq!(x.verified, y.verified);
+            }
+            _ => panic!("N/A mismatch between serial and parallel sweeps"),
+        }
+    }
+
+    #[test]
+    fn parallel_table5_sweep_matches_serial() {
+        let serial = run_table5_jobs(false, None, 1);
+        let par = run_table5_jobs(false, None, 4);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.benchmark.name, b.benchmark.name);
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                same_metrics_ignoring_time(ca, cb);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_stamps_row_major_job_ids() {
+        let sink = Arc::new(qsyn_trace::TableSink::new());
+        let rows = run_table5_jobs(false, Some(sink.clone()), 4);
+        let n_devices = devices::ibm_devices().len();
+        let n_jobs = rows.len() * n_devices;
+        let events = sink.events();
+        assert!(!events.is_empty());
+        for e in &events {
+            let job = e.job.expect("sweep events carry a job id") as usize;
+            assert!(job < n_jobs, "job {job} out of range {n_jobs}");
+        }
+        // Per job, events arrive in Fig. 2 order even when the stream as a
+        // whole is interleaved across workers.
+        for job in 0..n_jobs as u64 {
+            let passes: Vec<_> = events
+                .iter()
+                .filter(|e| e.job == Some(job))
+                .map(|e| e.pass)
+                .collect();
+            let order = qsyn_trace::Pass::FIG2_ORDER;
+            let mut cursor = 0;
+            for p in &passes {
+                let pos = order[cursor..]
+                    .iter()
+                    .position(|o| o == p)
+                    .expect("per-job passes follow Fig. 2 order");
+                cursor += pos + 1;
+            }
+        }
     }
 
     #[test]

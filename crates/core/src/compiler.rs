@@ -124,6 +124,7 @@ pub struct Compiler {
     verification: Verification,
     optimization: Optimization,
     trace: Option<Arc<dyn TraceSink>>,
+    job: Option<u64>,
 }
 
 impl std::fmt::Debug for Compiler {
@@ -154,6 +155,7 @@ impl Compiler {
             verification: Verification::Auto,
             optimization: Optimization::default_enabled(),
             trace: None,
+            job: None,
         }
     }
 
@@ -220,6 +222,17 @@ impl Compiler {
         self
     }
 
+    /// Stamps every [`PassEvent`] this compiler emits with a job id.
+    ///
+    /// Parallel sweep drivers give each (circuit, device) job a distinct id
+    /// so that events from concurrently running compilations, interleaved
+    /// in one JSONL stream, can be grouped back into per-job Fig. 2 pass
+    /// sequences (see `qsyn check-trace`).
+    pub fn with_job_id(mut self, job: u64) -> Self {
+        self.job = Some(job);
+        self
+    }
+
     /// The target device.
     pub fn device(&self) -> &Device {
         &self.device
@@ -251,7 +264,8 @@ impl Compiler {
         }
         let started = std::time::Instant::now();
         let mut events: Vec<PassEvent> = Vec::new();
-        let mut record = |e: PassEvent| {
+        let mut record = |mut e: PassEvent| {
+            e.job = self.job;
             if let Some(sink) = &self.trace {
                 sink.record(&e);
             }
@@ -332,6 +346,9 @@ impl Compiler {
                     s.counter("unique_nodes", report.unique_nodes as f64);
                     s.counter("cache_lookups", report.cache_lookups as f64);
                     s.counter("cache_hit_rate", report.cache_hit_rate());
+                    s.counter("cache_evictions", report.cache_evictions as f64);
+                    s.counter("gc_runs", report.gc_runs as f64);
+                    s.counter("nodes_reclaimed", report.nodes_reclaimed as f64);
                 }));
                 Some(report.equivalent)
             }
@@ -688,6 +705,21 @@ mod tests {
         assert!(verify.counter("peak_nodes").unwrap() > 0.0);
         assert!(verify.counter("unique_nodes").unwrap() > 0.0);
         assert!(verify.counter("cache_hit_rate").is_some());
+        assert!(verify.counter("cache_evictions").is_some());
+        assert!(verify.counter("gc_runs").is_some());
+        assert!(verify.counter("nodes_reclaimed").is_some());
+    }
+
+    #[test]
+    fn job_id_stamps_every_event() {
+        let r = Compiler::new(devices::ibmqx4())
+            .with_job_id(7)
+            .compile(&toffoli_spec())
+            .unwrap();
+        assert!(!r.metrics().events.is_empty());
+        assert!(r.metrics().events.iter().all(|e| e.job == Some(7)));
+        let plain = Compiler::new(devices::ibmqx4()).compile(&toffoli_spec()).unwrap();
+        assert!(plain.metrics().events.iter().all(|e| e.job.is_none()));
     }
 
     #[test]

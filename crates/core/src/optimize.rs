@@ -68,27 +68,54 @@ pub fn commutes(a: &Gate, b: &Gate) -> bool {
 
 /// Tombstone gate buffer with per-qubit occurrence lists for fast
 /// neighbor queries along a line.
+///
+/// The slot and occurrence storage is recycled through a per-thread pool:
+/// the optimizer builds one `Buffer` per pass per improvement round, and
+/// on wide devices (96 lines) the per-qubit lists alone are dozens of
+/// allocations per build — reuse keeps the round loop allocation-light.
 struct Buffer {
     slots: Vec<Option<Gate>>,
     occ: Vec<Vec<usize>>, // per qubit: slot indices touching it, ascending
 }
 
+/// Recycled `Buffer` storage: the tombstone slots and per-qubit lists.
+type PoolStorage = (Vec<Option<Gate>>, Vec<Vec<usize>>);
+
+thread_local! {
+    static BUFFER_POOL: std::cell::RefCell<PoolStorage> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 impl Buffer {
     fn new(gates: Vec<Gate>, n_qubits: usize) -> Self {
-        let mut occ = vec![Vec::new(); n_qubits];
+        let (mut slots, mut occ) = BUFFER_POOL.with(|p| {
+            let p = &mut *p.borrow_mut();
+            (std::mem::take(&mut p.0), std::mem::take(&mut p.1))
+        });
+        slots.clear();
+        for list in &mut occ {
+            list.clear();
+        }
+        if occ.len() < n_qubits {
+            occ.resize_with(n_qubits, Vec::new);
+        }
         for (i, g) in gates.iter().enumerate() {
             for q in g.qubits() {
                 occ[q].push(i);
             }
         }
-        Buffer {
-            slots: gates.into_iter().map(Some).collect(),
-            occ,
-        }
+        slots.extend(gates.into_iter().map(Some));
+        Buffer { slots, occ }
     }
 
-    fn into_gates(self) -> Vec<Gate> {
-        self.slots.into_iter().flatten().collect()
+    fn into_gates(mut self) -> Vec<Gate> {
+        let gates: Vec<Gate> = self.slots.drain(..).flatten().collect();
+        BUFFER_POOL.with(|p| {
+            let p = &mut *p.borrow_mut();
+            p.0 = std::mem::take(&mut self.slots);
+            p.1 = std::mem::take(&mut self.occ);
+        });
+        gates
     }
 
     /// Next live slot after `i` touching `q`.
@@ -276,12 +303,12 @@ pub fn contract_hh_cx_hh(gates: &mut Vec<Gate>, n_qubits: usize, device: Option<
 /// Exact lookup table: matrices of all library words of length <= 2,
 /// mapped to their shortest word. Phase-exact (global phase included), so
 /// replacements never perturb QMDD verification.
-fn short_word_table() -> &'static std::collections::HashMap<[i64; 8], Vec<SingleOp>> {
+fn short_word_table() -> &'static qsyn_qmdd::FxHashMap<[i64; 8], Vec<SingleOp>> {
     use qsyn_gate::SINGLE_OPS;
     use std::sync::OnceLock;
-    static TABLE: OnceLock<std::collections::HashMap<[i64; 8], Vec<SingleOp>>> = OnceLock::new();
+    static TABLE: OnceLock<qsyn_qmdd::FxHashMap<[i64; 8], Vec<SingleOp>>> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut table = std::collections::HashMap::new();
+        let mut table = qsyn_qmdd::FxHashMap::default();
         let key = |m: &qsyn_gate::Matrix| -> [i64; 8] {
             let mut k = [0i64; 8];
             for (pos, (r, c)) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {

@@ -263,7 +263,7 @@ mod tests {
         // The heavy pair (0,3) must land on adjacent qubits.
         assert!(d.are_adjacent(p.physical(0), p.physical(3)));
         // All assignments distinct.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = qsyn_qmdd::FxHashSet::default();
         for l in 0..4 {
             assert!(seen.insert(p.physical(l)));
         }
@@ -303,7 +303,7 @@ mod tests {
             "annealing starts from greedy and keeps the best seen"
         );
         // Valid assignment: distinct physical hosts.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = qsyn_qmdd::FxHashSet::default();
         for l in 0..12 {
             assert!(seen.insert(a.physical(l)));
         }

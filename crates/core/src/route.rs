@@ -12,7 +12,34 @@ use crate::error::CompileError;
 use qsyn_arch::Device;
 use qsyn_circuit::Circuit;
 use qsyn_gate::Gate;
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-thread search scratch reused across reroutes. Routing a circuit
+/// runs one CTR search per non-adjacent CNOT; recycling the visited/parent
+/// buffers (and the Dijkstra state for fidelity routing) keeps the hot
+/// loop allocation-free after the first gate.
+struct SearchScratch {
+    parent: Vec<Option<usize>>,
+    seen: Vec<bool>,
+    queue: VecDeque<usize>,
+    dist: Vec<f64>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SearchScratch> = const {
+        RefCell::new(SearchScratch {
+            parent: Vec::new(),
+            seen: Vec::new(),
+            queue: VecDeque::new(),
+            dist: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+        })
+    };
+}
 
 /// What the CTR search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -106,56 +133,62 @@ fn ctr_route_fidelity(
 ) -> Result<CtrRoute, CompileError> {
     assert_ne!(control, target, "CNOT control equals target");
     let n = device.n_qubits();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<usize>> = vec![None; n];
-    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
-    let key = |d: f64, q: usize| ((d * 1e9) as u64, q);
-    dist[control] = 0.0;
-    heap.push(std::cmp::Reverse(key(0.0, control)));
-    let mut settled = vec![false; n];
-    let mut best: Option<(f64, usize)> = None;
-    while let Some(std::cmp::Reverse((_, q))) = heap.pop() {
-        if settled[q] {
-            continue;
-        }
-        settled[q] = true;
-        if let Some((bd, _)) = best {
-            if dist[q] >= bd {
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        s.dist.clear();
+        s.dist.resize(n, f64::INFINITY);
+        s.parent.clear();
+        s.parent.resize(n, None);
+        s.settled.clear();
+        s.settled.resize(n, false);
+        s.heap.clear();
+        let key = |d: f64, q: usize| ((d * 1e9) as u64, q);
+        s.dist[control] = 0.0;
+        s.heap.push(std::cmp::Reverse(key(0.0, control)));
+        let mut best: Option<(f64, usize)> = None;
+        while let Some(std::cmp::Reverse((_, q))) = s.heap.pop() {
+            if s.settled[q] {
                 continue;
             }
-        }
-        if device.are_adjacent(q, target) {
-            let total = dist[q] + cnot_log_cost(device, q, target);
-            if best.is_none_or(|(bd, bq)| (total, q) < (bd, bq)) {
-                best = Some((total, q));
+            s.settled[q] = true;
+            if let Some((bd, _)) = best {
+                if s.dist[q] >= bd {
+                    continue;
+                }
+            }
+            if device.are_adjacent(q, target) {
+                let total = s.dist[q] + cnot_log_cost(device, q, target);
+                if best.is_none_or(|(bd, bq)| (total, q) < (bd, bq)) {
+                    best = Some((total, q));
+                }
+            }
+            for &nb in device.neighbors(q) {
+                if nb == target {
+                    continue; // the control never moves onto the target line
+                }
+                let nd = s.dist[q] + swap_log_cost(device, q, nb);
+                if nd < s.dist[nb] {
+                    s.dist[nb] = nd;
+                    s.parent[nb] = Some(q);
+                    s.heap.push(std::cmp::Reverse(key(nd, nb)));
+                }
             }
         }
-        for &nb in device.neighbors(q) {
-            if nb == target {
-                continue; // the control never moves onto the target line
-            }
-            let nd = dist[q] + swap_log_cost(device, q, nb);
-            if nd < dist[nb] {
-                dist[nb] = nd;
-                parent[nb] = Some(q);
-                heap.push(std::cmp::Reverse(key(nd, nb)));
-            }
+        let Some((_, stop)) = best else {
+            return Err(CompileError::RouteNotFound { control, target });
+        };
+        let mut path = vec![stop];
+        let mut cur = stop;
+        while let Some(p) = s.parent[cur] {
+            path.push(p);
+            cur = p;
         }
-    }
-    let Some((_, stop)) = best else {
-        return Err(CompileError::RouteNotFound { control, target });
-    };
-    let mut path = vec![stop];
-    let mut cur = stop;
-    while let Some(p) = parent[cur] {
-        path.push(p);
-        cur = p;
-    }
-    path.reverse();
-    debug_assert_eq!(path[0], control);
-    Ok(CtrRoute {
-        effective_control: stop,
-        path,
+        path.reverse();
+        debug_assert_eq!(path[0], control);
+        Ok(CtrRoute {
+            effective_control: stop,
+            path,
+        })
     })
 }
 
@@ -168,39 +201,44 @@ fn ctr_route_bfs(device: &Device, control: usize, target: usize) -> Result<CtrRo
         });
     }
     let n = device.n_qubits();
-    let mut parent: Vec<Option<usize>> = vec![None; n];
-    let mut seen = vec![false; n];
-    let mut queue = VecDeque::new();
-    seen[control] = true;
-    seen[target] = true; // the control never moves onto the target line
-    queue.push_back(control);
-    while let Some(q) = queue.pop_front() {
-        for &nb in device.neighbors(q) {
-            if seen[nb] {
-                continue;
-            }
-            seen[nb] = true;
-            parent[nb] = Some(q);
-            if device.are_adjacent(nb, target) {
-                // Reconstruct the path control -> ... -> nb.
-                let mut path = vec![nb];
-                let mut cur = nb;
-                while let Some(p) = parent[cur] {
-                    path.push(p);
-                    cur = p;
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        s.parent.clear();
+        s.parent.resize(n, None);
+        s.seen.clear();
+        s.seen.resize(n, false);
+        s.queue.clear();
+        s.seen[control] = true;
+        s.seen[target] = true; // the control never moves onto the target line
+        s.queue.push_back(control);
+        while let Some(q) = s.queue.pop_front() {
+            for &nb in device.neighbors(q) {
+                if s.seen[nb] {
+                    continue;
                 }
-                path.push(control);
-                path.dedup();
-                path.reverse();
-                return Ok(CtrRoute {
-                    effective_control: nb,
-                    path,
-                });
+                s.seen[nb] = true;
+                s.parent[nb] = Some(q);
+                if device.are_adjacent(nb, target) {
+                    // Reconstruct the path control -> ... -> nb.
+                    let mut path = vec![nb];
+                    let mut cur = nb;
+                    while let Some(p) = s.parent[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.push(control);
+                    path.dedup();
+                    path.reverse();
+                    return Ok(CtrRoute {
+                        effective_control: nb,
+                        path,
+                    });
+                }
+                s.queue.push_back(nb);
             }
-            queue.push_back(nb);
         }
-    }
-    Err(CompileError::RouteNotFound { control, target })
+        Err(CompileError::RouteNotFound { control, target })
+    })
 }
 
 /// Emits a CNOT that is native on the device, inserting the Fig. 6

@@ -151,7 +151,7 @@ fn base_net() -> &'static Vec<BaseEntry> {
         }];
         let mut frontier: Vec<usize> = vec![0];
         // Spatial hash for projective dedup.
-        let mut seen: std::collections::HashSet<[i64; 8]> = std::collections::HashSet::new();
+        let mut seen: qsyn_qmdd::FxHashSet<[i64; 8]> = qsyn_qmdd::FxHashSet::default();
         seen.insert(key_of(&entries[0].matrix));
         for _ in 0..MAX_LEN {
             let mut next = Vec::new();

@@ -92,6 +92,7 @@ impl WeightTable {
     }
 
     /// Interns the product of two weights.
+    #[inline]
     pub fn mul(&mut self, a: WeightId, b: WeightId) -> WeightId {
         if a == W_ZERO || b == W_ZERO {
             return W_ZERO;
@@ -107,6 +108,7 @@ impl WeightTable {
     }
 
     /// Interns the sum of two weights.
+    #[inline]
     pub fn add(&mut self, a: WeightId, b: WeightId) -> WeightId {
         if a == W_ZERO {
             return b;
@@ -123,6 +125,7 @@ impl WeightTable {
     /// # Panics
     ///
     /// Panics (in debug builds) when dividing by the zero weight.
+    #[inline]
     pub fn div(&mut self, a: WeightId, b: WeightId) -> WeightId {
         debug_assert_ne!(b, W_ZERO, "division by zero weight");
         if a == W_ZERO {
@@ -139,7 +142,11 @@ impl WeightTable {
     }
 
     /// Interns the complex conjugate of `a`.
+    #[inline]
     pub fn conj(&mut self, a: WeightId) -> WeightId {
+        if a == W_ZERO || a == W_ONE || a == W_NEG_ONE {
+            return a; // real distinguished weights are self-conjugate
+        }
         let v = self.value(a).conj();
         self.intern(v)
     }

@@ -1,8 +1,8 @@
 //! Graphviz DOT export of QMDD structure — renders diagrams like the
 //! paper's Fig. 1 (the CNOT QMDD).
 
+use crate::fxhash::FxHashSet;
 use crate::package::{Edge, Qmdd, TERMINAL};
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 impl Qmdd {
@@ -35,13 +35,12 @@ impl Qmdd {
             root.node
         );
 
-        let mut names: HashMap<u32, ()> = HashMap::new();
+        let mut names: FxHashSet<u32> = FxHashSet::default();
         let mut stack = vec![root.node];
         while let Some(id) = stack.pop() {
-            if id == TERMINAL || names.contains_key(&id) {
+            if id == TERMINAL || !names.insert(id) {
                 continue;
             }
-            names.insert(id, ());
             let var = self.var_of(Edge {
                 node: id,
                 weight: crate::ctable::W_ONE,

@@ -25,6 +25,12 @@ pub struct EquivReport {
     pub cache_lookups: u64,
     /// Compute-table probes answered from the cache.
     pub cache_hits: u64,
+    /// Live compute-table entries displaced by newer results.
+    pub cache_evictions: u64,
+    /// Mark-and-sweep collections performed during the check.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed by those collections.
+    pub nodes_reclaimed: u64,
 }
 
 impl EquivReport {
@@ -33,6 +39,7 @@ impl EquivReport {
         CacheStats {
             lookups: self.cache_lookups,
             hits: self.cache_hits,
+            ..CacheStats::default()
         }
         .hit_rate()
     }
@@ -47,6 +54,9 @@ fn report_from(pkg: &Qmdd, equivalent: bool) -> EquivReport {
         unique_nodes: pkg.unique_len(),
         cache_lookups: cache.lookups,
         cache_hits: cache.hits,
+        cache_evictions: cache.evictions,
+        gc_runs: cache.gc_runs,
+        nodes_reclaimed: cache.nodes_reclaimed,
     }
 }
 
@@ -56,10 +66,29 @@ fn report_from(pkg: &Qmdd, equivalent: bool) -> EquivReport {
 /// Circuits of different widths are compared on the wider register (the
 /// narrower circuit acts as the identity on the extra lines).
 pub fn equivalent(a: &Circuit, b: &Circuit) -> EquivReport {
+    equivalent_with_gc_threshold(a, b, None)
+}
+
+/// [`equivalent`] with a forced garbage-collection watermark (stress and
+/// tuning hook): `Some(nodes)` collects whenever the arena exceeds that
+/// size, `None` uses the package default. Verdicts are identical for any
+/// watermark — only peak memory and the GC counters change.
+pub fn equivalent_with_gc_threshold(
+    a: &Circuit,
+    b: &Circuit,
+    gc_threshold: Option<usize>,
+) -> EquivReport {
     let n = a.n_qubits().max(b.n_qubits());
     let mut pkg = Qmdd::new(n);
+    if let Some(t) = gc_threshold {
+        pkg.set_gc_threshold(t);
+    }
     let ea = pkg.circuit(a);
+    // Protect the first root: a collection triggered while building the
+    // second circuit must keep (and relocate) it.
+    let slot = pkg.protect(ea);
     let eb = pkg.circuit(b);
+    let ea = pkg.protected(slot);
     report_from(&pkg, ea == eb)
 }
 
@@ -72,8 +101,21 @@ pub fn equivalent(a: &Circuit, b: &Circuit) -> EquivReport {
 /// diagram near the identity whenever `b` is a gate-by-gate expansion of
 /// `a` — exactly the situation after technology mapping.
 pub fn equivalent_miter(a: &Circuit, b: &Circuit) -> EquivReport {
+    equivalent_miter_with_gc_threshold(a, b, None)
+}
+
+/// [`equivalent_miter`] with a forced garbage-collection watermark; see
+/// [`equivalent_with_gc_threshold`].
+pub fn equivalent_miter_with_gc_threshold(
+    a: &Circuit,
+    b: &Circuit,
+    gc_threshold: Option<usize>,
+) -> EquivReport {
     let n = a.n_qubits().max(b.n_qubits());
     let mut pkg = Qmdd::new(n);
+    if let Some(t) = gc_threshold {
+        pkg.set_gc_threshold(t);
+    }
     let mut acc = pkg.identity();
     let (la, lb) = (a.len().max(1), b.len().max(1));
     let (mut i, mut j) = (0usize, 0usize);
@@ -124,8 +166,13 @@ pub fn equivalent_with_ancillas(a: &Circuit, b: &Circuit, ancilla: &[usize]) -> 
         [qsyn_gate::C64::ZERO, qsyn_gate::C64::ONE],
     ];
     let p = pkg.tensor(|l| if ancilla.contains(&l) { zero_proj } else { ident });
+    // Collections during the circuit builds must preserve the projector
+    // and the earlier circuit's root.
+    let p_slot = pkg.protect(p);
     let ea = pkg.circuit(a);
+    let ea_slot = pkg.protect(ea);
     let eb = pkg.circuit(b);
+    let (p, ea) = (pkg.protected(p_slot), pkg.protected(ea_slot));
     let ap = pkg.mul(ea, p);
     let bp = pkg.mul(eb, p);
     report_from(&pkg, ap == bp)
@@ -141,7 +188,9 @@ pub fn process_fidelity(a: &Circuit, b: &Circuit) -> f64 {
     let n = a.n_qubits().max(b.n_qubits());
     let mut pkg = Qmdd::new(n);
     let ea = pkg.circuit(a);
+    let slot = pkg.protect(ea);
     let eb = pkg.circuit(b);
+    let ea = pkg.protected(slot);
     let adj = pkg.adjoint(ea);
     let prod = pkg.mul(adj, eb);
     let tr = pkg.trace(prod);
@@ -341,6 +390,62 @@ mod tests {
         let mut c = swap_cnots();
         c.push(Gate::t(0));
         assert!(!equivalent_with_ancillas(&a, &c, &[]).equivalent);
+    }
+
+    #[test]
+    fn verdicts_unchanged_across_forced_sweeps() {
+        // GC stress: the same pairs, checked with collections forced on
+        // essentially every step, must produce identical verdicts, and the
+        // forced runs must actually have collected.
+        let equal = (swap_native(), swap_cnots());
+        let mut tweaked = swap_cnots();
+        tweaked.push(Gate::t(1));
+        let unequal = (swap_native(), tweaked);
+        for (a, b) in [&equal, &unequal] {
+            let base = equivalent(a, b);
+            let forced = equivalent_with_gc_threshold(a, b, Some(4));
+            assert_eq!(base.equivalent, forced.equivalent);
+            assert!(forced.gc_runs > 0, "tiny watermark must sweep");
+            let base_m = equivalent_miter(a, b);
+            let forced_m = equivalent_miter_with_gc_threshold(a, b, Some(4));
+            assert_eq!(base_m.equivalent, forced_m.equivalent);
+            assert!(forced_m.gc_runs > 0, "tiny watermark must sweep");
+        }
+    }
+
+    #[test]
+    fn forced_sweeps_reduce_peak_nodes_on_deep_products() {
+        // A deep Clifford+T product leaves plenty of dead intermediates;
+        // an aggressive watermark must lower the observed peak while
+        // preserving the verdict.
+        let mut c = Circuit::new(5);
+        let mut s = 3u64;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match s % 4 {
+                0 => c.push(Gate::h((s % 5) as usize)),
+                1 => c.push(Gate::t((s % 5) as usize)),
+                2 => c.push(Gate::tdg((s % 5) as usize)),
+                _ => {
+                    let a = (s % 5) as usize;
+                    let b = ((s >> 8) % 5) as usize;
+                    if a != b {
+                        c.push(Gate::cx(a, b));
+                    }
+                }
+            }
+        }
+        let base = equivalent(&c, &c.clone());
+        let forced = equivalent_with_gc_threshold(&c, &c.clone(), Some(64));
+        assert!(base.equivalent && forced.equivalent);
+        assert!(forced.gc_runs > 0);
+        assert!(forced.nodes_reclaimed > 0);
+        assert!(
+            forced.peak_nodes <= base.peak_nodes,
+            "sweeping must not raise the peak: {} vs {}",
+            forced.peak_nodes,
+            base.peak_nodes
+        );
     }
 
     #[test]

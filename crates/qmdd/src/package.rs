@@ -15,9 +15,10 @@
 //! matrices are the sole early-terminating edges.
 
 use crate::ctable::{WeightId, WeightTable, W_NEG_ONE, W_ONE, W_ZERO};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use qsyn_circuit::Circuit;
 use qsyn_gate::{C64, Gate, Matrix};
+use std::hash::{Hash, Hasher};
 
 /// Index of a node in the package arena. `0` is the terminal.
 pub type NodeId = u32;
@@ -60,6 +61,74 @@ struct Node {
     edges: [Edge; 4],
 }
 
+/// A bounded, direct-mapped, generation-stamped compute table.
+///
+/// Each key hashes to exactly one slot; inserting over a live entry of the
+/// current generation *evicts* it (counted by the caller). Invalidation —
+/// needed after a garbage collection relocates node ids — is a single
+/// generation bump instead of an `O(capacity)` clear, so sweeps stay cheap
+/// no matter how full the table is.
+#[derive(Debug)]
+struct ComputeTable<K> {
+    slots: Vec<Option<(K, Edge, u32)>>,
+    generation: u32,
+}
+
+impl<K: Hash + Eq + Copy> ComputeTable<K> {
+    fn new(capacity: usize) -> Self {
+        ComputeTable {
+            slots: vec![None; capacity.next_power_of_two().max(16)],
+            generation: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: &K) -> usize {
+        let mut h = crate::fxhash::FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) & (self.slots.len() - 1)
+    }
+
+    #[inline]
+    fn get(&self, key: &K) -> Option<Edge> {
+        let (k, v, generation) = self.slots[self.slot(key)]?;
+        (generation == self.generation && k == *key).then_some(v)
+    }
+
+    /// Stores `key -> value`; returns `true` when a *different* live entry
+    /// of the current generation was displaced.
+    #[inline]
+    fn insert(&mut self, key: K, value: Edge) -> bool {
+        let i = self.slot(&key);
+        let evicted =
+            matches!(self.slots[i], Some((k, _, g)) if g == self.generation && k != key);
+        self.slots[i] = Some((key, value, self.generation));
+        evicted
+    }
+
+    /// Invalidates every entry in `O(1)` by advancing the generation.
+    fn invalidate(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        // Once per 2^32 sweeps the stamp wraps and stale entries could
+        // alias the new generation; clear for real on that boundary.
+        if self.generation == 0 {
+            self.slots.iter_mut().for_each(|s| *s = None);
+        }
+    }
+
+    fn resize(&mut self, capacity: usize) {
+        self.slots = vec![None; capacity.next_power_of_two().max(16)];
+        self.generation = 0;
+    }
+}
+
+/// Default slot counts of the bounded compute tables. `add`/`mul` carry the
+/// recursive arithmetic and get the large tables; the adjoint memo is
+/// touched once per distinct node and stays small.
+const ADD_CACHE_SLOTS: usize = 1 << 15;
+const MUL_CACHE_SLOTS: usize = 1 << 15;
+const ADJ_CACHE_SLOTS: usize = 1 << 12;
+
 /// A 2x2 complex matrix used when assembling gate diagrams.
 pub type M2 = [[C64; 2]; 2];
 
@@ -96,26 +165,43 @@ pub struct Qmdd {
     nodes: Vec<Node>,
     unique: FxHashMap<(u32, [Edge; 4]), NodeId>,
     weights: WeightTable,
-    add_cache: FxHashMap<(NodeId, NodeId, WeightId), Edge>,
-    mul_cache: FxHashMap<(NodeId, NodeId), Edge>,
-    adj_cache: FxHashMap<NodeId, Edge>,
+    add_cache: ComputeTable<(NodeId, NodeId, WeightId)>,
+    mul_cache: ComputeTable<(NodeId, NodeId)>,
+    adj_cache: ComputeTable<NodeId>,
+    /// Externally registered roots that every collection must preserve.
+    protected: Vec<Edge>,
+    /// Scratch buffers reused across collections and gate constructions.
+    spare_nodes: Vec<Node>,
+    gc_map: FxHashMap<NodeId, NodeId>,
+    gc_stack: Vec<NodeId>,
+    ctrl_mask: Vec<bool>,
     peak_nodes: usize,
     gc_threshold: usize,
     ct_lookups: u64,
     ct_hits: u64,
+    ct_evictions: u64,
+    gc_runs: u64,
+    nodes_reclaimed: u64,
 }
 
-/// Compute-table (add/mul cache) traffic counters of a [`Qmdd`] package.
+/// Compute-table and garbage-collection counters of a [`Qmdd`] package.
 ///
 /// Exposed so the compiler's trace layer can report how effectively the
 /// memoization caches are absorbing recursive arithmetic during
-/// verification.
+/// verification, and how much dead graph the collector reclaimed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Cache probes performed by `add` and `mul`.
     pub lookups: u64,
     /// Probes answered from the cache.
     pub hits: u64,
+    /// Live compute-table entries displaced by newer results (the tables
+    /// are bounded and direct-mapped, so collisions overwrite).
+    pub evictions: u64,
+    /// Completed mark-and-sweep collections.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed across all collections.
+    pub nodes_reclaimed: u64,
 }
 
 impl CacheStats {
@@ -140,12 +226,20 @@ impl Qmdd {
             }],
             unique: FxHashMap::default(),
             weights: WeightTable::new(),
-            add_cache: FxHashMap::default(),
-            mul_cache: FxHashMap::default(),
-            adj_cache: FxHashMap::default(),
+            add_cache: ComputeTable::new(ADD_CACHE_SLOTS),
+            mul_cache: ComputeTable::new(MUL_CACHE_SLOTS),
+            adj_cache: ComputeTable::new(ADJ_CACHE_SLOTS),
+            protected: Vec::new(),
+            spare_nodes: Vec::new(),
+            gc_map: FxHashMap::default(),
+            gc_stack: Vec::new(),
+            ctrl_mask: Vec::new(),
             peak_nodes: 1,
             ct_lookups: 0,
             ct_hits: 0,
+            ct_evictions: 0,
+            gc_runs: 0,
+            nodes_reclaimed: 0,
             gc_threshold: 1 << 22,
         }
     }
@@ -170,12 +264,35 @@ impl Qmdd {
         self.unique.len()
     }
 
-    /// Compute-table traffic counters accumulated so far.
+    /// Compute-table and collector counters accumulated so far.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             lookups: self.ct_lookups,
             hits: self.ct_hits,
+            evictions: self.ct_evictions,
+            gc_runs: self.gc_runs,
+            nodes_reclaimed: self.nodes_reclaimed,
         }
+    }
+
+    /// Number of distinct interned complex weights.
+    pub fn weight_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Registers an external root that [`Qmdd::maybe_gc`] and
+    /// [`Qmdd::compact`] must keep alive, returning a slot for
+    /// [`Qmdd::protected`]. Use this when several diagrams are built in one
+    /// package and an earlier root must survive collections triggered while
+    /// constructing a later one.
+    pub fn protect(&mut self, e: Edge) -> usize {
+        self.protected.push(e);
+        self.protected.len() - 1
+    }
+
+    /// The (possibly relocated) current edge of a [`Qmdd::protect`] slot.
+    pub fn protected(&self, slot: usize) -> Edge {
+        self.protected[slot]
     }
 
     /// Interns a raw complex value as a weight id.
@@ -188,6 +305,15 @@ impl Qmdd {
     /// enough that small workloads never collect).
     pub fn set_gc_threshold(&mut self, nodes: usize) {
         self.gc_threshold = nodes.max(2);
+    }
+
+    /// Resizes the bounded add/mul compute tables to `entries` slots each
+    /// (rounded up to a power of two; existing entries are dropped). A
+    /// tuning/testing hook: tiny tables force evictions, large tables trade
+    /// memory for hit rate.
+    pub fn set_cache_capacity(&mut self, entries: usize) {
+        self.add_cache.resize(entries);
+        self.mul_cache.resize(entries);
     }
 
     /// The canonical complex value of a weight id.
@@ -299,7 +425,7 @@ impl Qmdd {
         };
         let rel = self.weights.div(b.weight, a.weight);
         self.ct_lookups += 1;
-        if let Some(&hit) = self.add_cache.get(&(a.node, b.node, rel)) {
+        if let Some(hit) = self.add_cache.get(&(a.node, b.node, rel)) {
             self.ct_hits += 1;
             return self.scale(hit, a.weight);
         }
@@ -311,7 +437,7 @@ impl Qmdd {
             *slot = self.add(na.edges[i], eb);
         }
         let result = self.make_node(na.var, edges);
-        self.add_cache.insert((a.node, b.node, rel), result);
+        self.ct_evictions += u64::from(self.add_cache.insert((a.node, b.node, rel), result));
         self.scale(result, a.weight)
     }
 
@@ -329,7 +455,7 @@ impl Qmdd {
         debug_assert_eq!(self.var_of(a), self.var_of(b));
         let w = self.weights.mul(a.weight, b.weight);
         self.ct_lookups += 1;
-        if let Some(&hit) = self.mul_cache.get(&(a.node, b.node)) {
+        if let Some(hit) = self.mul_cache.get(&(a.node, b.node)) {
             self.ct_hits += 1;
             return self.scale(hit, w);
         }
@@ -345,7 +471,7 @@ impl Qmdd {
             }
         }
         let result = self.make_node(na.var, edges);
-        self.mul_cache.insert((a.node, b.node), result);
+        self.ct_evictions += u64::from(self.mul_cache.insert((a.node, b.node), result));
         self.scale(result, w)
     }
 
@@ -361,7 +487,7 @@ impl Qmdd {
                 weight: self.weights.conj(e.weight),
             };
         }
-        let sub = if let Some(&hit) = self.adj_cache.get(&e.node) {
+        let sub = if let Some(hit) = self.adj_cache.get(&e.node) {
             hit
         } else {
             let n = *self.node(e.node);
@@ -422,9 +548,18 @@ impl Qmdd {
         if controls.is_empty() {
             return self.single(target, u);
         }
-        let proj = self.tensor(|l| if controls.contains(&l) { PROJ1 } else { IDENT2 });
+        // Reusable control mask: O(n + k) per gate instead of O(n * k)
+        // `contains` scans per tensor level (the hot path of `gate` and
+        // `Simulator::apply` on multi-controlled cascades).
+        let mut mask = std::mem::take(&mut self.ctrl_mask);
+        mask.clear();
+        mask.resize(self.n, false);
+        for &c in controls {
+            mask[c] = true;
+        }
+        let proj = self.tensor(|l| if mask[l] { PROJ1 } else { IDENT2 });
         let act = self.tensor(|l| {
-            if controls.contains(&l) {
+            if mask[l] {
                 PROJ1
             } else if l == target {
                 u
@@ -432,6 +567,7 @@ impl Qmdd {
                 IDENT2
             }
         });
+        self.ctrl_mask = mask;
         let id = self.identity();
         let neg_proj = self.scale(proj, W_NEG_ONE);
         let partial = self.add(id, neg_proj);
@@ -485,41 +621,63 @@ impl Qmdd {
     }
 
     /// Triggers a compacting collection when the arena exceeds the GC
-    /// threshold; returns the (possibly relocated) root.
+    /// threshold; returns the (possibly relocated) root. Roots registered
+    /// with [`Qmdd::protect`] survive as well.
     pub fn maybe_gc(&mut self, root: Edge) -> Edge {
         if self.nodes.len() < self.gc_threshold {
             return root;
         }
         let mut roots = [root];
         self.compact(&mut roots);
-        self.gc_threshold = (self.nodes.len() * 4).max(1 << 22);
+        // Adaptive re-arm: collect again only after the live set has had
+        // room to quadruple, so steady-state workloads are not swept on
+        // every gate. The floor keeps tuned (small) watermarks effective.
+        self.gc_threshold = (self.nodes.len() * 4).max(self.gc_threshold.min(1 << 22));
         roots[0]
     }
 
-    /// Compacts the arena, keeping only nodes reachable from `roots`, and
-    /// rewrites the roots in place. Clears the operation caches.
+    /// Compacts the arena, keeping only nodes reachable from `roots` (and
+    /// any [`Qmdd::protect`]-ed roots, which are rewritten in place), and
+    /// rebuilds the weight table from the surviving edges. The bounded
+    /// compute tables are invalidated by a generation bump; outstanding
+    /// [`Edge`]s and [`WeightId`]s other than the passed/protected roots
+    /// become stale.
     pub fn compact(&mut self, roots: &mut [Edge]) {
-        let mut map: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        let nodes_before = self.nodes.len();
+        // Scratch reuse: the relocation map, DFS stack and the spare arena
+        // buffer persist across collections, so a sweep allocates nothing
+        // in steady state.
+        let mut map = std::mem::take(&mut self.gc_map);
+        let mut stack = std::mem::take(&mut self.gc_stack);
+        let mut new_nodes = std::mem::take(&mut self.spare_nodes);
+        map.clear();
+        stack.clear();
+        new_nodes.clear();
         map.insert(TERMINAL, TERMINAL);
-        let mut new_nodes = vec![Node {
+        new_nodes.push(Node {
             var: u32::MAX,
             edges: [Edge::ZERO; 4],
-        }];
-        // Iterative DFS copy.
-        for root in roots.iter_mut() {
-            let mut stack = vec![root.node];
-            while let Some(id) = stack.pop() {
+        });
+        let mut protected = std::mem::take(&mut self.protected);
+        // Iterative post-order copy: a node is emitted once all children
+        // have been relocated.
+        for root in roots.iter_mut().chain(protected.iter_mut()) {
+            stack.push(root.node);
+            while let Some(&id) = stack.last() {
                 if map.contains_key(&id) {
+                    stack.pop();
                     continue;
                 }
                 let node = self.nodes[id as usize];
-                let pending: Vec<NodeId> = node
-                    .edges
-                    .iter()
-                    .map(|e| e.node)
-                    .filter(|n| !map.contains_key(n))
-                    .collect();
-                if pending.is_empty() {
+                let mut ready = true;
+                for e in node.edges {
+                    if !map.contains_key(&e.node) {
+                        ready = false;
+                        stack.push(e.node);
+                    }
+                }
+                if ready {
+                    stack.pop();
                     let mut edges = node.edges;
                     for e in &mut edges {
                         e.node = map[&e.node];
@@ -530,24 +688,43 @@ impl Qmdd {
                         edges,
                     });
                     map.insert(id, new_id);
-                } else {
-                    stack.push(id);
-                    stack.extend(pending);
                 }
             }
             root.node = map[&root.node];
         }
-        self.nodes = new_nodes;
-        self.unique = self
-            .nodes
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, n)| ((n.var, n.edges), i as NodeId))
-            .collect();
-        self.add_cache.clear();
-        self.mul_cache.clear();
-        self.adj_cache.clear();
+        // Rebuild the complex (weight) table from surviving edges so dead
+        // amplitudes minted by discarded intermediates are dropped too.
+        let mut new_weights = WeightTable::new();
+        let mut wmap: FxHashMap<WeightId, WeightId> = FxHashMap::default();
+        let remap = |old: WeightId, wmap: &mut FxHashMap<WeightId, WeightId>,
+                         new_weights: &mut WeightTable,
+                         old_weights: &WeightTable| {
+            *wmap
+                .entry(old)
+                .or_insert_with(|| new_weights.intern(old_weights.value(old)))
+        };
+        for node in new_nodes.iter_mut().skip(1) {
+            for e in &mut node.edges {
+                e.weight = remap(e.weight, &mut wmap, &mut new_weights, &self.weights);
+            }
+        }
+        for root in roots.iter_mut().chain(protected.iter_mut()) {
+            root.weight = remap(root.weight, &mut wmap, &mut new_weights, &self.weights);
+        }
+        self.weights = new_weights;
+        self.unique.clear();
+        for (i, n) in new_nodes.iter().enumerate().skip(1) {
+            self.unique.insert((n.var, n.edges), i as NodeId);
+        }
+        self.spare_nodes = std::mem::replace(&mut self.nodes, new_nodes);
+        self.protected = protected;
+        self.gc_map = map;
+        self.gc_stack = stack;
+        self.add_cache.invalidate();
+        self.mul_cache.invalidate();
+        self.adj_cache.invalidate();
+        self.gc_runs += 1;
+        self.nodes_reclaimed += nodes_before.saturating_sub(self.nodes.len()) as u64;
     }
 
     /// Per-level node counts of a diagram: entry `l` is the number of
@@ -555,7 +732,7 @@ impl Qmdd {
     /// compactness profile for diagnosing where a diagram grows.
     pub fn node_profile(&self, e: Edge) -> Vec<usize> {
         let mut profile = vec![0usize; self.n];
-        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
         let mut stack = vec![e.node];
         while let Some(id) = stack.pop() {
             if id == TERMINAL || !seen.insert(id) {
@@ -571,7 +748,7 @@ impl Qmdd {
 
     /// Number of distinct non-terminal nodes reachable from `e`.
     pub fn node_count(&self, e: Edge) -> usize {
-        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
         let mut stack = vec![e.node];
         while let Some(id) = stack.pop() {
             if id == TERMINAL || !seen.insert(id) {
@@ -1020,6 +1197,99 @@ mod tests {
         let prod = pkg.mul(e, adj);
         let id = pkg.identity();
         assert_eq!(prod, id, "unitarity lost after deep product");
+    }
+
+    #[test]
+    fn gc_counters_track_sweeps_and_reclaimed_nodes() {
+        let mut pkg = Qmdd::new(4);
+        pkg.set_gc_threshold(8);
+        let mut c = Circuit::new(4);
+        for k in 0..8 {
+            c.push(Gate::h(k % 4));
+            c.push(Gate::cx(k % 4, (k + 1) % 4));
+            c.push(Gate::t((k + 2) % 4));
+        }
+        let _ = pkg.circuit(&c);
+        let stats = pkg.cache_stats();
+        assert!(stats.gc_runs > 0, "forced watermark must trigger sweeps");
+        assert!(stats.nodes_reclaimed > 0, "sweeps must reclaim dead nodes");
+    }
+
+    #[test]
+    fn protected_roots_survive_collections() {
+        let mut pkg = Qmdd::new(3);
+        let mut a = Circuit::new(3);
+        a.push(Gate::swap(0, 2));
+        let ea = pkg.circuit(&a);
+        let dense = pkg.to_matrix(ea);
+        let slot = pkg.protect(ea);
+        // Collect on essentially every gate of the second build.
+        pkg.set_gc_threshold(2);
+        let mut b = Circuit::new(3);
+        b.push(Gate::h(0));
+        b.push(Gate::cx(0, 1));
+        b.push(Gate::toffoli(0, 1, 2));
+        let _ = pkg.circuit(&b);
+        assert!(pkg.cache_stats().gc_runs > 0, "sweeps must have happened");
+        let ea_now = pkg.protected(slot);
+        assert!(
+            pkg.to_matrix(ea_now).approx_eq(&dense),
+            "protected root semantics must survive relocation"
+        );
+    }
+
+    #[test]
+    fn bounded_compute_table_evicts_and_stays_correct() {
+        let mut pkg = Qmdd::new(4);
+        pkg.set_cache_capacity(16); // tiny: force collisions
+        let mut c = Circuit::new(4);
+        let mut s = 11u64;
+        for _ in 0..120 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match s % 4 {
+                0 => c.push(Gate::h((s % 4) as usize)),
+                1 => c.push(Gate::t((s % 4) as usize)),
+                2 => c.push(Gate::tdg((s % 4) as usize)),
+                _ => {
+                    let a = (s % 4) as usize;
+                    let b = ((s >> 8) % 4) as usize;
+                    if a != b {
+                        c.push(Gate::cx(a, b));
+                    }
+                }
+            }
+        }
+        let e = pkg.circuit(&c);
+        assert!(pkg.cache_stats().evictions > 0, "tiny table must evict");
+        let mut clean = Qmdd::new(4);
+        let expected = clean.circuit(&c);
+        assert!(pkg.to_matrix(e).approx_eq(&clean.to_matrix(expected)));
+    }
+
+    #[test]
+    fn compact_rebuilds_weight_table() {
+        let mut pkg = Qmdd::new(3);
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push(Gate::h(q));
+            c.push(Gate::t(q));
+        }
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        let before = pkg.circuit(&c);
+        let dense = pkg.to_matrix(before);
+        let weights_before = pkg.weight_count();
+        let mut roots = [before];
+        pkg.compact(&mut roots);
+        assert!(
+            pkg.weight_count() <= weights_before,
+            "sweep must not mint weights"
+        );
+        assert!(pkg.to_matrix(roots[0]).approx_eq(&dense));
+        // Arithmetic still works against the rebuilt weight table.
+        let h = pkg.gate(&Gate::h(0));
+        let adj = pkg.adjoint(roots[0]);
+        let _ = pkg.mul(h, adj);
     }
 
     #[test]

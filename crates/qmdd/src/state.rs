@@ -7,9 +7,11 @@
 //! `2^n` arrays. This is the standard trick for reusing a matrix-DD engine
 //! as a simulator.
 
+use crate::fxhash::FxHashMap;
 use crate::package::{Edge, Qmdd, TERMINAL};
 use qsyn_circuit::Circuit;
 use qsyn_gate::{C64, Gate};
+use std::cell::RefCell;
 
 /// A decision-diagram quantum state simulator.
 ///
@@ -34,6 +36,11 @@ use qsyn_gate::{C64, Gate};
 pub struct Simulator {
     pkg: Qmdd,
     state: Edge,
+    // Scratch memo buffers reused across queries instead of reallocating
+    // a fresh map per call (`apply`-heavy loops interleave queries, and the
+    // maps reach thousands of entries on wide registers).
+    prob_memo: RefCell<FxHashMap<(u32, bool), f64>>,
+    norm_memo: RefCell<FxHashMap<u32, f64>>,
 }
 
 impl Simulator {
@@ -43,7 +50,12 @@ impl Simulator {
         // |0..0><0..0| as a tensor of |0><0| factors.
         let zero_proj = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ZERO]];
         let state = pkg.tensor(|_| zero_proj);
-        Simulator { pkg, state }
+        Simulator {
+            pkg,
+            state,
+            prob_memo: RefCell::new(FxHashMap::default()),
+            norm_memo: RefCell::new(FxHashMap::default()),
+        }
     }
 
     /// Creates a simulator initialized to an arbitrary basis state.
@@ -68,6 +80,10 @@ impl Simulator {
     }
 
     /// Applies one gate to the state.
+    ///
+    /// The hot path reuses the package's scratch buffers (control masks in
+    /// gate construction, relocation maps in collection) — applying a long
+    /// circuit performs no per-gate scratch allocation.
     pub fn apply(&mut self, gate: &Gate) {
         let g = self.pkg.gate(gate);
         self.state = self.pkg.mul(g, self.state);
@@ -117,8 +133,8 @@ impl Simulator {
     /// `|amplitude|^2` over the diagram (no collapse).
     pub fn probability_one(&self, qubit: usize) -> f64 {
         assert!(qubit < self.n_qubits(), "qubit out of range");
-        let mut memo: crate::fxhash::FxHashMap<(u32, bool), f64> =
-            crate::fxhash::FxHashMap::default();
+        let mut memo = self.prob_memo.borrow_mut();
+        memo.clear();
         self.prob_walk(self.state, 0, qubit, false, &mut memo)
     }
 
@@ -197,7 +213,8 @@ impl Simulator {
     /// branch-norm evaluations)` rather than anything exponential.
     pub fn sample(&self, mut uniform: impl FnMut() -> f64) -> u128 {
         let n = self.n_qubits();
-        let mut memo: crate::fxhash::FxHashMap<u32, f64> = crate::fxhash::FxHashMap::default();
+        let mut memo = self.norm_memo.borrow_mut();
+        memo.clear();
         let mut outcome = 0u128;
         let mut e = self.state;
         for _ in 0..n {

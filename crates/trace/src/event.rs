@@ -122,6 +122,11 @@ impl StageSnapshot {
 pub struct PassEvent {
     /// Which pass ran.
     pub pass: Pass,
+    /// Identifier of the compilation job this event belongs to. `None` for
+    /// single-compile traces; parallel sweeps stamp every event with its
+    /// (circuit x device) job index so interleaved JSONL streams can be
+    /// grouped back into per-job pass sequences.
+    pub job: Option<u64>,
     /// Wall-clock time of the pass in seconds.
     pub seconds: f64,
     /// Circuit shape entering the pass.
@@ -149,10 +154,15 @@ impl PassEvent {
     }
 
     /// Serializes the event as one JSON object (the JSONL line format).
+    /// The `job` key is present only for stamped (sweep) events, so
+    /// single-compile traces keep their original shape.
     pub fn to_json(&self) -> Value {
-        Value::Obj(vec![
-            ("pass".into(), Value::Str(self.pass.name().into())),
-            ("seconds".into(), Value::Num(self.seconds)),
+        let mut pairs = vec![("pass".to_string(), Value::Str(self.pass.name().into()))];
+        if let Some(job) = self.job {
+            pairs.push(("job".into(), Value::Num(job as f64)));
+        }
+        pairs.extend([
+            ("seconds".to_string(), Value::Num(self.seconds)),
             ("input".into(), self.input.to_json()),
             ("output".into(), self.output.to_json()),
             ("cost_in".into(), Value::Num(self.cost_in)),
@@ -167,7 +177,8 @@ impl PassEvent {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Value::Obj(pairs)
     }
 
     /// Deserializes an event produced by [`PassEvent::to_json`].
@@ -181,6 +192,8 @@ impl PassEvent {
         };
         Some(PassEvent {
             pass: Pass::from_name(v.get("pass")?.as_str()?)?,
+            // Optional for backward compatibility with pre-sweep traces.
+            job: v.get("job").and_then(Value::as_f64).map(|n| n as u64),
             seconds: v.get("seconds")?.as_f64()?,
             input: StageSnapshot::from_json(v.get("input")?)?,
             output: StageSnapshot::from_json(v.get("output")?)?,
@@ -226,6 +239,7 @@ impl Span {
     ) -> PassEvent {
         PassEvent {
             pass: self.pass,
+            job: None,
             seconds: self.started.elapsed().as_secs_f64(),
             input,
             output,
@@ -437,6 +451,18 @@ mod tests {
         let e = sample_event();
         let line = e.to_json().to_string();
         let parsed = PassEvent::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn job_id_round_trips_and_is_omitted_when_absent() {
+        let mut e = sample_event();
+        assert!(!e.to_json().to_string().contains("\"job\""));
+        e.job = Some(17);
+        let line = e.to_json().to_string();
+        assert!(line.contains("\"job\":17"));
+        let parsed = PassEvent::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.job, Some(17));
         assert_eq!(parsed, e);
     }
 

@@ -44,7 +44,8 @@ USAGE:
 
   qsyn check-trace <trace.jsonl>
       Validate a --trace JSONL file: every line must be a well-formed
-      pass event. Prints a per-pass summary; exits 1 on malformed input.
+      pass event, and events sharing a sweep job id must follow Fig. 2
+      pass order. Prints a per-pass summary; exits 1 on malformed input.
 
   qsyn synth <hex> <n-vars> [--out FILE]
       Synthesize the single-target gate of a control function given as a
@@ -372,15 +373,51 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
         }
     }
     for e in &events {
+        let job = e.job.map_or(String::new(), |j| format!("job {j:<4} "));
         println!(
-            "{:<9} {:>8.3} ms  {:>4} gates  Δcost {:+.2}",
+            "{job}{:<9} {:>8.3} ms  {:>4} gates  Δcost {:+.2}",
             e.pass,
             e.seconds * 1e3,
             e.output.stats.volume,
             e.cost_delta()
         );
     }
-    eprintln!("{}: {} well-formed pass events", input, events.len());
+    // A sweep job is one compilation, so its events — however interleaved
+    // with other jobs in the stream — must follow Fig. 2 pass order. A
+    // trace may aggregate several sweeps (`experiments` runs three tables
+    // back to back, each restarting job ids at 0), so a job is allowed to
+    // begin a fresh pipeline — but only from `place`; any other backward
+    // jump is stream corruption.
+    let mut jobs: Vec<u64> = events.iter().filter_map(|e| e.job).collect();
+    jobs.sort_unstable();
+    jobs.dedup();
+    for &job in &jobs {
+        let mut cursor = 0;
+        for e in events.iter().filter(|e| e.job == Some(job)) {
+            let idx = Pass::FIG2_ORDER
+                .iter()
+                .position(|p| *p == e.pass)
+                .expect("FIG2_ORDER is exhaustive");
+            if idx < cursor && idx != 0 {
+                eprintln!(
+                    "error: {input}: job {job}: pass `{}` repeats or breaks Fig. 2 order",
+                    e.pass
+                );
+                return ExitCode::FAILURE;
+            }
+            cursor = idx + 1;
+        }
+    }
+    if jobs.is_empty() {
+        eprintln!("{}: {} well-formed pass events", input, events.len());
+    } else {
+        eprintln!(
+            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 order",
+            input,
+            events.len(),
+            jobs.len()
+        );
+    }
     ExitCode::SUCCESS
 }
 
