@@ -2,20 +2,29 @@
 //! 96-qubit Fig. 7 machine, unoptimized and optimized, with percent cost
 //! decrease and QMDD verification. Pass `--no-verify` to skip the (wide)
 //! miter equivalence checks and `--jobs N` to compile the benchmarks on N
-//! worker threads (default: all CPUs).
+//! worker threads (default: all CPUs). Resource governance flags
+//! (`--node-budget`, `--deadline`, `--strict-verify`, `--inject-fault`)
+//! are documented in docs/ROBUSTNESS.md.
 
-use qsyn_bench::par::jobs_from_args;
-use qsyn_bench::report::{render_table8, run_table8_jobs};
+use qsyn_bench::report::{count_failed, render_table8, run_table8_sweep, SweepConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let verify = !args.iter().any(|a| a == "--no-verify");
-    let Some(jobs) = jobs_from_args(&args) else {
-        eprintln!("error: --jobs requires a positive integer");
-        std::process::exit(2);
+    let cfg = match SweepConfig::from_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     };
     println!(
-        "Table 8: 96-qubit QC benchmark compilation results (verify = {verify}, jobs = {jobs})\n"
+        "Table 8: 96-qubit QC benchmark compilation results (verify = {}, jobs = {})\n",
+        cfg.verify, cfg.jobs
     );
-    print!("{}", render_table8(&run_table8_jobs(verify, None, jobs)));
+    let rows = run_table8_sweep(&cfg);
+    print!("{}", render_table8(&rows));
+    println!(
+        "\nfailed jobs: {}",
+        count_failed(rows.iter().map(|r| &r.cell))
+    );
 }

@@ -29,15 +29,27 @@ pub fn default_jobs() -> usize {
 /// value is missing or not a positive integer (callers report the usage
 /// error themselves).
 pub fn jobs_from_args(args: &[String]) -> Option<usize> {
+    match flag_value(args, "--jobs") {
+        Some(v) => v.parse().ok().filter(|&n| n > 0),
+        None => Some(default_jobs()),
+    }
+}
+
+/// Extracts a `--flag VALUE` / `--flag=VALUE` argument, or `None` when the
+/// flag is absent. A flag present with no value yields `Some("")` so
+/// callers can report the usage error.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     for (i, a) in args.iter().enumerate() {
-        if a == "--jobs" {
-            return args.get(i + 1).and_then(|v| v.parse().ok()).filter(|&n| n > 0);
+        if a == flag {
+            return Some(args.get(i + 1).map_or("", |v| v.as_str()));
         }
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            return v.parse().ok().filter(|&n| n > 0);
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v);
+            }
         }
     }
-    Some(default_jobs())
+    None
 }
 
 /// Applies `f` to every item, using up to `jobs` worker threads, and
@@ -88,6 +100,36 @@ where
         .collect()
 }
 
+/// [`par_map`] with per-job fault isolation: a panicking job yields an
+/// `Err` row carrying the panic message instead of tearing down the whole
+/// sweep, so N inputs always produce N rows.
+///
+/// The sweep binaries run every compilation through this wrapper — one
+/// poisoned benchmark (a compiler defect, a blown `unwrap`) must not cost
+/// the other N-1 results of a long parallel run.
+pub fn try_par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(items, jobs, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
+/// Best-effort extraction of the human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +166,45 @@ mod tests {
     #[test]
     fn default_jobs_is_at_least_one() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn flag_value_parses_both_forms() {
+        let args: Vec<String> = ["--deadline", "2.5", "--node-budget=4096", "--bare"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--deadline"), Some("2.5"));
+        assert_eq!(flag_value(&args, "--node-budget"), Some("4096"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        assert_eq!(flag_value(&args, "--bare"), Some(""));
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = try_par_map(&items, 4, |_, &x| {
+            if x % 5 == 3 {
+                panic!("job {x} exploded");
+            }
+            x * 10
+        });
+        assert_eq!(out.len(), items.len());
+        for (x, row) in items.iter().zip(&out) {
+            if x % 5 == 3 {
+                let msg = row.as_ref().unwrap_err();
+                assert!(msg.contains("exploded"), "{msg}");
+            } else {
+                assert_eq!(*row.as_ref().unwrap(), x * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_serial_also_isolates() {
+        let out = try_par_map(&[1u8], 1, |_, _| -> u8 { panic!("lone job") });
+        assert_eq!(out.len(), 1);
+        assert!(out[0].as_ref().unwrap_err().contains("lone job"));
     }
 
     #[test]

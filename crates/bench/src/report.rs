@@ -8,12 +8,12 @@
 //! `cargo run --bin experiments`.
 
 use crate::big::{BigBenchmark, BIG_BENCHMARKS};
-use crate::par::par_map;
+use crate::par::{par_map, try_par_map};
 use crate::revlib::{RevlibBenchmark, REVLIB_BENCHMARKS};
 use crate::stg::{StgFunction, STG_FUNCTIONS};
 use qsyn_arch::{devices, CostModel, Device, TransmonCost};
 use qsyn_circuit::Circuit;
-use qsyn_core::{CompileError, Compiler, Verification};
+use qsyn_core::{CompileBudget, CompileError, Compiler, FaultSpec, Verification};
 use qsyn_trace::TraceSink;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -30,23 +30,148 @@ pub struct MappingMetrics {
     pub pct_decrease: f64,
     /// Whether the built-in QMDD equivalence check passed.
     pub verified: bool,
+    /// Verification ran but every degradation-ladder rung exhausted its
+    /// budget: the output is explicitly unverified (never a silent pass).
+    pub unverified: bool,
     /// Synthesis wall time in seconds (including verification).
     pub seconds: f64,
 }
 
-/// One benchmark-on-device cell; `None` is the paper's `N/A`.
-pub type Cell = Option<MappingMetrics>;
+/// One benchmark-on-device cell of a sweep table.
+///
+/// Historically this was `Option<MappingMetrics>` with a panic for
+/// unexpected errors; the sweep harness now keeps every outcome structured
+/// so a run over N inputs always produces N cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Synthesized (and possibly verified); carries the table metrics.
+    Mapped(MappingMetrics),
+    /// The paper's `N/A`: circuit too wide, or a generalized Toffoli with
+    /// no borrowable ancilla line.
+    NotApplicable,
+    /// The job failed — budget exhaustion, an injected fault, or a panic
+    /// the sweep isolated — with the failure message.
+    Failed(String),
+}
+
+impl Cell {
+    /// The metrics, when the benchmark synthesized.
+    pub fn metrics(&self) -> Option<&MappingMetrics> {
+        match self {
+            Cell::Mapped(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the job failed (as opposed to mapping or a clean `N/A`).
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Cell::Failed(_))
+    }
+
+    /// The failure message, when the job failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            Cell::Failed(msg) => Some(msg),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a table sweep needs beyond its inputs: verification on/off,
+/// an optional shared trace sink, the worker count, the per-job resource
+/// budget, and (for harness tests and CI smoke runs) a fault to inject.
+#[derive(Clone, Default)]
+pub struct SweepConfig {
+    /// Run the built-in QMDD verification for every job.
+    pub verify: bool,
+    /// Optional shared sink receiving every job's pass events.
+    pub trace: Option<Arc<dyn TraceSink>>,
+    /// Worker threads (`<= 1` runs serially on the calling thread).
+    pub jobs: usize,
+    /// Resource budget applied to every job's compiler.
+    pub budget: CompileBudget,
+    /// Deliberate fault injected into job 0 only; the remaining jobs
+    /// demonstrate isolation by completing normally.
+    pub inject: Option<FaultSpec>,
+}
+
+impl std::fmt::Debug for SweepConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepConfig")
+            .field("verify", &self.verify)
+            .field("traced", &self.trace.is_some())
+            .field("jobs", &self.jobs)
+            .field("budget", &self.budget)
+            .field("inject", &self.inject)
+            .finish()
+    }
+}
+
+impl SweepConfig {
+    /// A serial, untraced, unbudgeted sweep.
+    pub fn new(verify: bool) -> Self {
+        SweepConfig {
+            verify,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Parses the sweep flags the table binaries share: `--no-verify`,
+    /// `--jobs N`, `--node-budget NODES`, `--deadline SECONDS`,
+    /// `--strict-verify`, and `--inject-fault pass:kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the offending flag.
+    pub fn from_args(args: &[String]) -> Result<SweepConfig, String> {
+        use crate::par::{flag_value, jobs_from_args};
+        let jobs =
+            jobs_from_args(args).ok_or("--jobs requires a positive integer")?;
+        let mut budget = CompileBudget::default();
+        if let Some(v) = flag_value(args, "--node-budget") {
+            let nodes: usize = v
+                .parse()
+                .map_err(|_| format!("--node-budget requires a node count, got `{v}`"))?;
+            budget = budget.with_node_budget(nodes);
+        }
+        if let Some(v) = flag_value(args, "--deadline") {
+            let secs: f64 = v
+                .parse()
+                .ok()
+                .filter(|s: &f64| *s >= 0.0 && s.is_finite())
+                .ok_or_else(|| format!("--deadline requires seconds, got `{v}`"))?;
+            budget = budget.with_deadline(std::time::Duration::from_secs_f64(secs));
+        }
+        if args.iter().any(|a| a == "--strict-verify") {
+            budget = budget.with_verify_mode(qsyn_core::VerifyMode::Strict);
+        }
+        let inject = match flag_value(args, "--inject-fault") {
+            Some(v) => Some(FaultSpec::parse(v).map_err(|e| format!("--inject-fault: {e}"))?),
+            None => None,
+        };
+        Ok(SweepConfig {
+            verify: !args.iter().any(|a| a == "--no-verify"),
+            trace: None,
+            jobs,
+            budget,
+            inject,
+        })
+    }
+
+}
+
+/// Counts [`Cell::Failed`] entries — the summary line every sweep binary
+/// prints so CI can assert fault isolation.
+pub fn count_failed<'a>(cells: impl IntoIterator<Item = &'a Cell>) -> usize {
+    cells.into_iter().filter(|c| c.is_failed()).count()
+}
 
 /// Compiles a circuit for a device and extracts the table metrics.
 ///
-/// Returns `None` for the paper's `N/A` conditions (circuit too wide, or a
-/// generalized Toffoli with no borrowable line).
-///
-/// # Panics
-///
-/// Panics if compilation fails for any *other* reason, or if the built-in
-/// verification rejects the output — both would be compiler defects, which
-/// the experiment harness surfaces loudly rather than tabulating.
+/// Returns [`Cell::NotApplicable`] for the paper's `N/A` conditions
+/// (circuit too wide, or a generalized Toffoli with no borrowable line)
+/// and [`Cell::Failed`] for every other error — the harness tabulates
+/// failures rather than tearing down a sweep.
 pub fn map_benchmark(circuit: &Circuit, device: &Device, verify: bool) -> Cell {
     map_benchmark_traced(circuit, device, verify, None)
 }
@@ -55,10 +180,6 @@ pub fn map_benchmark(circuit: &Circuit, device: &Device, verify: bool) -> Cell {
 /// of every benchmark streams to `trace` (e.g. a shared
 /// [`qsyn_trace::JsonlSink`]), so an experiment sweep leaves a per-pass
 /// record alongside the rendered tables.
-///
-/// # Panics
-///
-/// Same contract as [`map_benchmark`].
 pub fn map_benchmark_traced(
     circuit: &Circuit,
     device: &Device,
@@ -71,10 +192,6 @@ pub fn map_benchmark_traced(
 /// [`map_benchmark_traced`] with an optional sweep job id: every pass
 /// event the compilation emits carries `job`, so events from concurrent
 /// jobs interleaved in one JSONL stream stay attributable.
-///
-/// # Panics
-///
-/// Same contract as [`map_benchmark`].
 pub fn map_benchmark_job(
     circuit: &Circuit,
     device: &Device,
@@ -82,32 +199,62 @@ pub fn map_benchmark_job(
     trace: Option<Arc<dyn TraceSink>>,
     job: Option<u64>,
 ) -> Cell {
+    let cfg = SweepConfig {
+        verify,
+        trace,
+        ..SweepConfig::default()
+    };
+    map_benchmark_cell(circuit, device, &cfg, job)
+}
+
+/// The full-configuration mapper every sweep funnels through: applies the
+/// [`SweepConfig`] budget (and, for job 0, any injected fault) and converts
+/// every outcome into a [`Cell`].
+pub fn map_benchmark_cell(
+    circuit: &Circuit,
+    device: &Device,
+    cfg: &SweepConfig,
+    job: Option<u64>,
+) -> Cell {
     let cost = TransmonCost::default();
-    let mut compiler = Compiler::new(device.clone()).with_verification(if verify {
-        Verification::Auto
-    } else {
-        Verification::None
-    });
-    if let Some(sink) = trace {
+    let mut compiler = Compiler::new(device.clone())
+        .with_verification(if cfg.verify {
+            Verification::Auto
+        } else {
+            Verification::None
+        })
+        .with_budget(cfg.budget);
+    if let Some(sink) = cfg.trace.clone() {
         compiler = compiler.with_trace(sink);
     }
     if let Some(id) = job {
         compiler = compiler.with_job_id(id);
     }
+    if let Some(spec) = cfg.inject {
+        if job.unwrap_or(0) == 0 {
+            compiler = compiler.with_fault_injection(spec);
+        }
+    }
     match compiler.compile(circuit) {
         Ok(r) => {
             let su = r.unoptimized_stats();
             let so = r.optimized_stats();
-            Some(MappingMetrics {
+            Cell::Mapped(MappingMetrics {
                 unopt: (su.t_count, su.volume, cost.cost(&su)),
                 opt: (so.t_count, so.volume, cost.cost(&so)),
                 pct_decrease: r.percent_cost_decrease(&cost),
                 verified: r.verified.unwrap_or(false),
+                unverified: r.verdict().is_unverified(),
                 seconds: r.metrics().total_seconds,
             })
         }
-        Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => None,
-        Err(e) => panic!("unexpected failure mapping {:?}: {e}", circuit.name()),
+        Err(CompileError::TooWide { .. }) | Err(CompileError::NoAncilla { .. }) => {
+            Cell::NotApplicable
+        }
+        Err(e) => Cell::Failed(format!(
+            "{}: {e}",
+            circuit.name().unwrap_or("circuit")
+        )),
     }
 }
 
@@ -218,13 +365,25 @@ pub fn run_table3_jobs(
     trace: Option<Arc<dyn TraceSink>>,
     jobs: usize,
 ) -> Vec<Table3Row> {
+    run_table3_sweep(&SweepConfig {
+        verify,
+        trace,
+        jobs,
+        ..SweepConfig::default()
+    })
+}
+
+/// [`run_table3_jobs`] under a full [`SweepConfig`] (budget, fault
+/// injection). Each job is fault-isolated: a panic or budget blow becomes
+/// a [`Cell::Failed`] in its slot and every other job still completes.
+pub fn run_table3_sweep(cfg: &SweepConfig) -> Vec<Table3Row> {
     let devs = devices::ibm_devices();
     let cascades: Vec<Circuit> = STG_FUNCTIONS.iter().map(StgFunction::cascade).collect();
     let pairs = job_pairs(cascades.len(), devs.len());
-    let cells = par_map(&pairs, jobs, |job, &(f, d)| {
-        map_benchmark_job(&cascades[f], &devs[d], verify, trace.clone(), Some(job as u64))
+    let cells = sweep_cells(&pairs, cfg, |job, &(f, d)| {
+        map_benchmark_cell(&cascades[f], &devs[d], cfg, Some(job as u64))
     });
-    let tech = par_map(&cascades, jobs, |_, c| tech_independent_metrics(c));
+    let tech = par_map(&cascades, cfg.jobs.max(1), |_, c| tech_independent_metrics(c));
     STG_FUNCTIONS
         .iter()
         .enumerate()
@@ -233,6 +392,20 @@ pub fn run_table3_jobs(
             tech_independent: tech[i],
             cells: cells[i * devs.len()..(i + 1) * devs.len()].to_vec(),
         })
+        .collect()
+}
+
+/// Runs one fault-isolated cell per job: panics caught by
+/// [`try_par_map`] are folded back into [`Cell::Failed`] rows, so the
+/// returned vector always has exactly `pairs.len()` entries.
+fn sweep_cells<T: Sync>(
+    pairs: &[T],
+    cfg: &SweepConfig,
+    f: impl Fn(usize, &T) -> Cell + Sync,
+) -> Vec<Cell> {
+    try_par_map(pairs, cfg.jobs.max(1), f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(Cell::Failed))
         .collect()
 }
 
@@ -251,7 +424,7 @@ pub fn average_pct_per_device(rows: &[&[Cell]], n_devices: usize) -> Vec<f64> {
         .map(|d| {
             let vals: Vec<f64> = rows
                 .iter()
-                .filter_map(|cells| cells[d].map(|m| m.pct_decrease))
+                .filter_map(|cells| cells[d].metrics().map(|m| m.pct_decrease))
                 .collect();
             if vals.is_empty() {
                 0.0
@@ -264,11 +437,12 @@ pub fn average_pct_per_device(rows: &[&[Cell]], n_devices: usize) -> Vec<f64> {
 
 fn fmt_cell(c: &Cell) -> String {
     match c {
-        Some(m) => format!(
+        Cell::Mapped(m) => format!(
             "{}/{}/{:.2} -> {}/{}/{:.2}",
             m.unopt.0, m.unopt.1, m.unopt.2, m.opt.0, m.opt.1, m.opt.2
         ),
-        None => "N/A".to_string(),
+        Cell::NotApplicable => "N/A".to_string(),
+        Cell::Failed(_) => "FAILED".to_string(),
     }
 }
 
@@ -293,8 +467,9 @@ fn render_pct_table(
         let pcts: Vec<String> = row
             .iter()
             .map(|c| match c {
-                Some(m) => format!("{:.2}", m.pct_decrease),
-                None => "N/A".into(),
+                Cell::Mapped(m) => format!("{:.2}", m.pct_decrease),
+                Cell::NotApplicable => "N/A".into(),
+                Cell::Failed(_) => "FAILED".into(),
             })
             .collect();
         let _ = writeln!(out, "| {} | {} |", name, pcts.join(" | "));
@@ -379,11 +554,22 @@ pub fn run_table5_jobs(
     trace: Option<Arc<dyn TraceSink>>,
     jobs: usize,
 ) -> Vec<Table5Row> {
+    run_table5_sweep(&SweepConfig {
+        verify,
+        trace,
+        jobs,
+        ..SweepConfig::default()
+    })
+}
+
+/// [`run_table5_jobs`] under a full [`SweepConfig`] — see
+/// [`run_table3_sweep`] for the isolation contract.
+pub fn run_table5_sweep(cfg: &SweepConfig) -> Vec<Table5Row> {
     let devs = devices::ibm_devices();
     let circuits: Vec<Circuit> = REVLIB_BENCHMARKS.iter().map(RevlibBenchmark::circuit).collect();
     let pairs = job_pairs(circuits.len(), devs.len());
-    let cells = par_map(&pairs, jobs, |job, &(b, d)| {
-        map_benchmark_job(&circuits[b], &devs[d], verify, trace.clone(), Some(job as u64))
+    let cells = sweep_cells(&pairs, cfg, |job, &(b, d)| {
+        map_benchmark_cell(&circuits[b], &devs[d], cfg, Some(job as u64))
     });
     REVLIB_BENCHMARKS
         .iter()
@@ -437,8 +623,9 @@ pub fn render_table6(rows: &[Table5Row]) -> String {
 pub struct Table8Row {
     /// The benchmark.
     pub benchmark: BigBenchmark,
-    /// Compilation metrics (always succeeds on the 96-qubit machine).
-    pub metrics: MappingMetrics,
+    /// Compilation outcome (mapped on the 96-qubit machine unless a
+    /// budget or injected fault intervened).
+    pub cell: Cell,
 }
 
 /// Runs the Table 8 experiment on the Fig. 7 machine.
@@ -458,18 +645,28 @@ pub fn run_table8_jobs(
     trace: Option<Arc<dyn TraceSink>>,
     jobs: usize,
 ) -> Vec<Table8Row> {
+    run_table8_sweep(&SweepConfig {
+        verify,
+        trace,
+        jobs,
+        ..SweepConfig::default()
+    })
+}
+
+/// [`run_table8_jobs`] under a full [`SweepConfig`] — see
+/// [`run_table3_sweep`] for the isolation contract.
+pub fn run_table8_sweep(cfg: &SweepConfig) -> Vec<Table8Row> {
     let d = devices::qc96();
     let circuits: Vec<Circuit> = BIG_BENCHMARKS.iter().map(BigBenchmark::circuit).collect();
-    let metrics = par_map(&circuits, jobs, |job, c| {
-        map_benchmark_job(c, &d, verify, trace.clone(), Some(job as u64))
-            .expect("qc96 hosts every Table 7 benchmark")
+    let cells = sweep_cells(&circuits, cfg, |job, c| {
+        map_benchmark_cell(c, &d, cfg, Some(job as u64))
     });
     BIG_BENCHMARKS
         .iter()
-        .zip(metrics)
-        .map(|(b, m)| Table8Row {
+        .zip(cells)
+        .map(|(b, cell)| Table8Row {
             benchmark: *b,
-            metrics: m,
+            cell,
         })
         .collect()
 }
@@ -507,10 +704,25 @@ pub fn render_table8(rows: &[Table8Row]) -> String {
     );
     let _ = writeln!(out, "|{}", "---|".repeat(9));
     let mut pct_sum = 0.0;
+    let mut mapped = 0usize;
     for r in rows {
-        let m = &r.metrics;
         let b = &r.benchmark;
+        let Some(m) = r.cell.metrics() else {
+            let status = match &r.cell {
+                Cell::NotApplicable => "N/A".to_string(),
+                Cell::Failed(msg) => format!("FAILED: {msg}"),
+                Cell::Mapped(_) => unreachable!(),
+            };
+            let _ = writeln!(out, "| {} | {status} | | | | | | | |", b.name);
+            continue;
+        };
         pct_sum += m.pct_decrease;
+        mapped += 1;
+        let verified = if m.unverified {
+            "UNVERIFIED".to_string()
+        } else {
+            m.verified.to_string()
+        };
         let _ = writeln!(
             out,
             "| {} | {}/{}/{:.0} | {}/{}/{:.0} | {}/{}/{:.0} | {}/{}/{:.0} | {:.2} | {:.2} | {} | {:.2} |",
@@ -521,14 +733,14 @@ pub fn render_table8(rows: &[Table8Row]) -> String {
             b.paper_opt.0, b.paper_opt.1, b.paper_opt.2,
             m.pct_decrease,
             b.paper_pct,
-            m.verified,
+            verified,
             m.seconds
         );
     }
     let _ = writeln!(
         out,
         "| Average | | | | | {:.2} | 39.54 | | |",
-        pct_sum / rows.len() as f64
+        if mapped == 0 { 0.0 } else { pct_sum / mapped as f64 }
     );
     out
 }
@@ -555,8 +767,10 @@ mod tests {
     #[test]
     fn map_benchmark_reports_metrics() {
         let d = devices::ibmqx4();
-        let m = map_benchmark(&R3_17_14.circuit(), &d, true).unwrap();
+        let cell = map_benchmark(&R3_17_14.circuit(), &d, true);
+        let m = cell.metrics().expect("r3_17_14 maps on ibmqx4");
         assert!(m.verified);
+        assert!(!m.unverified);
         assert!(m.unopt.2 >= m.opt.2, "optimization never raises cost");
         assert_eq!(m.unopt.0, 14, "two Toffolis = 14 T");
         assert!(m.seconds >= 0.0);
@@ -567,8 +781,10 @@ mod tests {
         let d = devices::ibmqx4();
         let c = R3_17_14.circuit();
         let sink = Arc::new(qsyn_trace::TableSink::new());
-        let traced = map_benchmark_traced(&c, &d, true, Some(sink.clone())).unwrap();
-        let plain = map_benchmark(&c, &d, true).unwrap();
+        let traced_cell = map_benchmark_traced(&c, &d, true, Some(sink.clone()));
+        let traced = traced_cell.metrics().unwrap();
+        let plain_cell = map_benchmark(&c, &d, true);
+        let plain = plain_cell.metrics().unwrap();
         assert_eq!(traced.unopt, plain.unopt);
         assert_eq!(traced.opt, plain.opt);
         assert_eq!(traced.pct_decrease, plain.pct_decrease);
@@ -578,14 +794,16 @@ mod tests {
 
     fn same_metrics_ignoring_time(a: &Cell, b: &Cell) {
         match (a, b) {
-            (None, None) => {}
-            (Some(x), Some(y)) => {
+            (Cell::NotApplicable, Cell::NotApplicable) => {}
+            (Cell::Failed(x), Cell::Failed(y)) => assert_eq!(x, y),
+            (Cell::Mapped(x), Cell::Mapped(y)) => {
                 assert_eq!(x.unopt, y.unopt);
                 assert_eq!(x.opt, y.opt);
                 assert_eq!(x.pct_decrease, y.pct_decrease);
                 assert_eq!(x.verified, y.verified);
+                assert_eq!(x.unverified, y.unverified);
             }
-            _ => panic!("N/A mismatch between serial and parallel sweeps"),
+            _ => panic!("outcome mismatch between serial and parallel sweeps"),
         }
     }
 
@@ -635,11 +853,79 @@ mod tests {
     }
 
     #[test]
-    fn map_benchmark_returns_none_for_na() {
+    fn map_benchmark_returns_na_for_too_wide() {
         let d = devices::ibmqx2();
         let mut too_wide = Circuit::new(6);
         too_wide.push(qsyn_gate::Gate::x(5));
-        assert!(map_benchmark(&too_wide, &d, false).is_none());
+        assert_eq!(map_benchmark(&too_wide, &d, false), Cell::NotApplicable);
+    }
+
+    #[test]
+    fn strict_node_budget_yields_failed_cell_not_panic() {
+        use qsyn_core::VerifyMode;
+        let cfg = SweepConfig {
+            verify: true,
+            budget: CompileBudget::default()
+                .with_node_budget(2)
+                .with_verify_mode(VerifyMode::Strict),
+            ..SweepConfig::default()
+        };
+        let cell = map_benchmark_cell(&R3_17_14.circuit(), &devices::ibmqx4(), &cfg, None);
+        let msg = cell.failure().expect("strict tiny budget must fail");
+        assert!(msg.contains("budget"), "{msg}");
+    }
+
+    #[test]
+    fn degraded_node_budget_maps_with_explicit_unverified() {
+        let cfg = SweepConfig {
+            verify: true,
+            budget: CompileBudget::default().with_node_budget(2),
+            ..SweepConfig::default()
+        };
+        let cell = map_benchmark_cell(&R3_17_14.circuit(), &devices::ibmqx4(), &cfg, None);
+        let m = cell.metrics().expect("degrade mode still maps");
+        assert!(!m.verified);
+        assert!(m.unverified, "must be loud about the skipped proof");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_one_row() {
+        use qsyn_core::{FaultKind, FaultSpec};
+        let cfg = SweepConfig {
+            jobs: 4,
+            inject: Some(FaultSpec {
+                pass: qsyn_trace::Pass::Route,
+                kind: FaultKind::Panic,
+            }),
+            ..SweepConfig::default()
+        };
+        let rows = run_table5_sweep(&cfg);
+        assert_eq!(rows.len(), REVLIB_BENCHMARKS.len(), "one row per benchmark");
+        let cells: Vec<&Cell> = rows.iter().flat_map(|r| &r.cells).collect();
+        // Job 0 (first benchmark on the first device) carries the fault...
+        let msg = cells[0].failure().expect("job 0 is poisoned");
+        assert!(msg.contains("injected fault"), "{msg}");
+        // ...and it is the only failure; every other job completed.
+        assert_eq!(cells.iter().filter(|c| c.is_failed()).count(), 1);
+        assert!(cells[1..].iter().any(|c| c.metrics().is_some()));
+    }
+
+    #[test]
+    fn injected_budget_fault_is_a_structured_failure() {
+        use qsyn_core::{FaultKind, FaultSpec};
+        let cfg = SweepConfig {
+            inject: Some(FaultSpec {
+                pass: qsyn_trace::Pass::Decompose,
+                kind: FaultKind::Budget,
+            }),
+            ..SweepConfig::default()
+        };
+        let cell = map_benchmark_cell(&R3_17_14.circuit(), &devices::ibmqx4(), &cfg, Some(0));
+        let msg = cell.failure().unwrap();
+        assert!(msg.contains("budget exceeded"), "{msg}");
+        // Other job ids are untouched by the injection.
+        let clean = map_benchmark_cell(&R3_17_14.circuit(), &devices::ibmqx4(), &cfg, Some(3));
+        assert!(clean.metrics().is_some());
     }
 
     #[test]
@@ -653,20 +939,22 @@ mod tests {
     }
 
     #[test]
-    fn average_pct_ignores_na() {
+    fn average_pct_ignores_na_and_failed() {
         let cells: Vec<Cell> = vec![
-            Some(MappingMetrics {
+            Cell::Mapped(MappingMetrics {
                 unopt: (0, 0, 10.0),
                 opt: (0, 0, 5.0),
                 pct_decrease: 50.0,
                 verified: true,
+                unverified: false,
                 seconds: 0.0,
             }),
-            None,
+            Cell::NotApplicable,
+            Cell::Failed("poisoned".into()),
         ];
         let rows: Vec<&[Cell]> = vec![&cells];
-        let avg = average_pct_per_device(&rows, 2);
-        assert_eq!(avg, vec![50.0, 0.0]);
+        let avg = average_pct_per_device(&rows, 3);
+        assert_eq!(avg, vec![50.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -250,6 +250,19 @@ fn gate_from_qasm(mnemonic: &str, args: &[usize], lineno: usize) -> Result<Gate,
             format!("gate `{mnemonic}` expects {want} operands, got {}", args.len()),
         )
     };
+    // Multi-qubit gates act on distinct lines; a repeated operand (e.g.
+    // `cx q[0],q[0]`) is a malformed input, not a constructor panic.
+    let distinct = || -> Result<(), ParseCircuitError> {
+        for (i, a) in args.iter().enumerate() {
+            if args[..i].contains(a) {
+                return Err(ParseCircuitError::new(
+                    lineno,
+                    format!("gate `{mnemonic}` repeats operand q{a}"),
+                ));
+            }
+        }
+        Ok(())
+    };
     for op in SINGLE_OPS {
         if op.qasm_name() == mnemonic {
             if args.len() != 1 {
@@ -263,24 +276,28 @@ fn gate_from_qasm(mnemonic: &str, args: &[usize], lineno: usize) -> Result<Gate,
             if args.len() != 2 {
                 return Err(arity_err(2));
             }
+            distinct()?;
             Ok(Gate::cx(args[0], args[1]))
         }
         "cz" => {
             if args.len() != 2 {
                 return Err(arity_err(2));
             }
+            distinct()?;
             Ok(Gate::cz(args[0], args[1]))
         }
         "swap" => {
             if args.len() != 2 {
                 return Err(arity_err(2));
             }
+            distinct()?;
             Ok(Gate::swap(args[0], args[1]))
         }
         "ccx" => {
             if args.len() != 3 {
                 return Err(arity_err(3));
             }
+            distinct()?;
             Ok(Gate::toffoli(args[0], args[1], args[2]))
         }
         other => Err(ParseCircuitError::new(

@@ -91,6 +91,19 @@ fn qc_gate(mnemonic: &str, args: Vec<usize>, lineno: usize) -> Result<Gate, Pars
             ))
         }
     };
+    // Multi-qubit gates act on distinct lines; `tof a a` or `swap b b` is a
+    // malformed input and must surface as a parse error, not a panic.
+    let distinct = |args: &[usize]| -> Result<(), ParseCircuitError> {
+        for (i, a) in args.iter().enumerate() {
+            if args[..i].contains(a) {
+                return Err(ParseCircuitError::new(
+                    lineno,
+                    format!("`{mnemonic}` repeats an operand line"),
+                ));
+            }
+        }
+        Ok(())
+    };
     let single = |op: SingleOp, args: &[usize]| -> Result<Gate, ParseCircuitError> {
         if args.len() != 1 {
             return Err(ParseCircuitError::new(
@@ -111,20 +124,24 @@ fn qc_gate(mnemonic: &str, args: Vec<usize>, lineno: usize) -> Result<Gate, Pars
         "T*" | "t*" => single(SingleOp::Tdg, &args),
         "cnot" | "CNOT" => {
             need(2)?;
+            distinct(&args)?;
             Ok(Gate::cx(args[0], args[1]))
         }
         "swap" | "SWAP" => {
             need(2)?;
+            distinct(&args)?;
             Ok(Gate::swap(args[0], args[1]))
         }
         "cz" | "CZ" => {
             need(2)?;
+            distinct(&args)?;
             Ok(Gate::cz(args[0], args[1]))
         }
         "tof" | "Tof" | "TOF" | "ccx" => match args.len() {
             0 => Err(ParseCircuitError::new(lineno, "`tof` needs operands")),
             1 => Ok(Gate::x(args[0])),
             _ => {
+                distinct(&args)?;
                 let target = *args.last().expect("nonempty");
                 let controls = args[..args.len() - 1].to_vec();
                 Ok(Gate::mct(controls, target))

@@ -71,7 +71,7 @@ pub fn parse_real(src: &str) -> Result<Circuit, ParseCircuitError> {
                         vars.insert(format!("x{i}"), i);
                     }
                 }
-                parse_real_gate(mnemonic, &rest, &vars, lineno, &mut gates)?;
+                parse_real_gate(mnemonic, &rest, &vars, n, lineno, &mut gates)?;
             }
         }
     }
@@ -105,6 +105,7 @@ fn parse_real_gate(
     mnemonic: &str,
     rest: &[&str],
     vars: &HashMap<String, usize>,
+    numvars: usize,
     lineno: usize,
     gates: &mut Vec<Gate>,
 ) -> Result<(), ParseCircuitError> {
@@ -112,6 +113,24 @@ fn parse_real_gate(
         .iter()
         .map(|t| lookup(t, vars, lineno))
         .collect::<Result<_, _>>()?;
+    // `.variables` may (erroneously) declare more names than `.numvars`
+    // lines exist; a gate touching one of the excess lines is a malformed
+    // input, and reversible gates always act on distinct lines. Both must
+    // surface as parse errors, never as downstream register panics.
+    for (i, o) in ops.iter().enumerate() {
+        if o.index >= numvars {
+            return Err(ParseCircuitError::new(
+                lineno,
+                format!("operand line {} exceeds .numvars {numvars}", o.index),
+            ));
+        }
+        if ops[..i].iter().any(|p| p.index == o.index) {
+            return Err(ParseCircuitError::new(
+                lineno,
+                format!("`{mnemonic}` repeats an operand line"),
+            ));
+        }
+    }
     let arity_check = |want: usize| -> Result<(), ParseCircuitError> {
         if ops.len() == want {
             Ok(())

@@ -1,0 +1,254 @@
+//! Resource governance for the compilation pipeline.
+//!
+//! A [`CompileBudget`] bounds every Fig. 2 pass: a wall-clock deadline
+//! checked at pass boundaries, a QMDD node ceiling for verification, a cap
+//! on optimizer improvement rounds, and a cap on routing SWAP insertions.
+//! Hard limits surface as [`CompileError::BudgetExceeded`](crate::CompileError::BudgetExceeded)
+//! instead of unbounded memory growth or runaway loops; the optimizer cap
+//! degrades gracefully (best result so far), and the verify pass walks a
+//! degradation ladder ending in an explicit
+//! [`Verdict::Unverified`](qsyn_trace::Verdict::Unverified) when
+//! [`VerifyMode::Degrade`] is selected.
+
+use std::time::Duration;
+
+/// Which resource a [`CompileError::BudgetExceeded`](crate::CompileError::BudgetExceeded)
+/// cap refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// The per-compile wall-clock deadline (limits in milliseconds).
+    WallClock,
+    /// The QMDD package's node arena (limits in nodes).
+    QmddNodes,
+    /// SWAP insertions during routing (limits in adjacent SWAPs).
+    RouteSwaps,
+}
+
+impl BudgetResource {
+    /// Stable lowercase identifier (used in error messages and traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetResource::WallClock => "wall-clock-ms",
+            BudgetResource::QmddNodes => "qmdd-nodes",
+            BudgetResource::RouteSwaps => "route-swaps",
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the verify pass responds when a degradation-ladder rung exhausts
+/// its QMDD node budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// A budget blow during verification is a hard
+    /// [`CompileError::BudgetExceeded`](crate::CompileError::BudgetExceeded):
+    /// the compile fails rather than ship an unverified circuit.
+    Strict,
+    /// Walk the ladder (full check, forced-GC retry, bounded miter); when
+    /// every rung exhausts, record
+    /// [`Verdict::Unverified`](qsyn_trace::Verdict::Unverified) and return
+    /// the compiled circuit anyway — explicitly unverified, never a silent
+    /// pass.
+    #[default]
+    Degrade,
+}
+
+/// Per-compile resource budget threaded through all five Fig. 2 passes.
+///
+/// The default is unlimited on every axis, which reproduces the historical
+/// behavior exactly.
+///
+/// # Examples
+///
+/// ```
+/// use qsyn_core::{CompileBudget, VerifyMode};
+/// use std::time::Duration;
+///
+/// let budget = CompileBudget::default()
+///     .with_deadline(Duration::from_secs(30))
+///     .with_node_budget(1 << 20)
+///     .with_max_optimize_rounds(64)
+///     .with_verify_mode(VerifyMode::Strict);
+/// assert_eq!(budget.qmdd_node_budget, Some(1 << 20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileBudget {
+    /// Wall-clock deadline for the whole compile, checked before each pass
+    /// (and before each verify-ladder rung). `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Ceiling on the QMDD node arena during verification. `None` means
+    /// unbounded (the historical behavior).
+    pub qmdd_node_budget: Option<usize>,
+    /// Cap on optimizer improvement rounds; hitting it keeps the best
+    /// circuit found so far (graceful, never an error).
+    pub max_optimize_rounds: Option<usize>,
+    /// Cap on total adjacent SWAPs the router may insert.
+    pub max_route_swaps: Option<usize>,
+    /// Strict or degraded verification under the node budget.
+    pub verify_mode: VerifyMode,
+}
+
+impl CompileBudget {
+    /// An explicitly unlimited budget (same as `Default`).
+    pub fn unlimited() -> Self {
+        CompileBudget::default()
+    }
+
+    /// Sets the per-compile wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the QMDD node-arena ceiling for verification.
+    pub fn with_node_budget(mut self, nodes: usize) -> Self {
+        self.qmdd_node_budget = Some(nodes);
+        self
+    }
+
+    /// Sets the optimizer round cap.
+    pub fn with_max_optimize_rounds(mut self, rounds: usize) -> Self {
+        self.max_optimize_rounds = Some(rounds);
+        self
+    }
+
+    /// Sets the router SWAP-insertion cap.
+    pub fn with_max_route_swaps(mut self, swaps: usize) -> Self {
+        self.max_route_swaps = Some(swaps);
+        self
+    }
+
+    /// Selects strict or degraded verification.
+    pub fn with_verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify_mode = mode;
+        self
+    }
+
+    /// Whether every axis is unlimited.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.qmdd_node_budget.is_none()
+            && self.max_optimize_rounds.is_none()
+            && self.max_route_swaps.is_none()
+    }
+}
+
+/// Which failure a fault-injection hook triggers (test builds only; see
+/// [`FaultSpec`]).
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the start of the pass (exercises `catch_unwind` isolation).
+    Panic,
+    /// Return a synthetic `BudgetExceeded` error.
+    Budget,
+    /// Return a synthetic `VerificationFailed` error.
+    VerifyFail,
+}
+
+/// A deliberate fault to inject at the start of one pipeline pass.
+///
+/// Only available with the `fault-injection` cargo feature; used by the
+/// benchmark sweeps' `--inject-fault pass:kind` flag to exercise every
+/// recovery path (panic isolation, budget errors, verification failures)
+/// in CI without pathological inputs.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The pass at whose start the fault fires.
+    pub pass: qsyn_trace::Pass,
+    /// What kind of failure to trigger.
+    pub kind: FaultKind,
+}
+
+#[cfg(feature = "fault-injection")]
+impl FaultSpec {
+    /// Parses the `pass:kind` flag syntax, e.g. `verify:panic`,
+    /// `route:budget`, `verify:verify-fail`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending component.
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        let (pass_text, kind_text) = text
+            .split_once(':')
+            .ok_or_else(|| format!("expected pass:kind, got `{text}`"))?;
+        let pass = qsyn_trace::Pass::from_name(pass_text)
+            .ok_or_else(|| format!("unknown pass `{pass_text}`"))?;
+        let kind = match kind_text {
+            "panic" => FaultKind::Panic,
+            "budget" => FaultKind::Budget,
+            "verify-fail" => FaultKind::VerifyFail,
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        Ok(FaultSpec { pass, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = CompileBudget::default();
+        assert!(b.is_unlimited());
+        assert_eq!(b.verify_mode, VerifyMode::Degrade);
+        assert_eq!(b, CompileBudget::unlimited());
+    }
+
+    #[test]
+    fn builders_set_each_axis() {
+        let b = CompileBudget::default()
+            .with_deadline(Duration::from_millis(250))
+            .with_node_budget(1024)
+            .with_max_optimize_rounds(3)
+            .with_max_route_swaps(40)
+            .with_verify_mode(VerifyMode::Strict);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(b.qmdd_node_budget, Some(1024));
+        assert_eq!(b.max_optimize_rounds, Some(3));
+        assert_eq!(b.max_route_swaps, Some(40));
+        assert_eq!(b.verify_mode, VerifyMode::Strict);
+    }
+
+    #[test]
+    fn resource_names_are_stable() {
+        assert_eq!(BudgetResource::WallClock.to_string(), "wall-clock-ms");
+        assert_eq!(BudgetResource::QmddNodes.to_string(), "qmdd-nodes");
+        assert_eq!(BudgetResource::RouteSwaps.to_string(), "route-swaps");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fault_spec_parses_and_rejects() {
+        use qsyn_trace::Pass;
+        assert_eq!(
+            FaultSpec::parse("verify:panic").unwrap(),
+            FaultSpec {
+                pass: Pass::Verify,
+                kind: FaultKind::Panic
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("route:budget").unwrap(),
+            FaultSpec {
+                pass: Pass::Route,
+                kind: FaultKind::Budget
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("verify:verify-fail").unwrap().kind,
+            FaultKind::VerifyFail
+        );
+        assert!(FaultSpec::parse("bogus:panic").is_err());
+        assert!(FaultSpec::parse("verify:frob").is_err());
+        assert!(FaultSpec::parse("nocolon").is_err());
+    }
+}

@@ -13,16 +13,17 @@
 //!   -> QMDD formal verification              (output == specification)
 //! ```
 
+use crate::budget::{BudgetResource, CompileBudget, VerifyMode};
 use crate::decompose::{decompose_circuit_with, DecomposeStrategy};
 use crate::error::CompileError;
-use crate::optimize::{optimize_traced, OptimizeConfig, OptimizeCounters};
+use crate::optimize::{optimize_bounded, OptimizeConfig, OptimizeCounters};
 use crate::place::{place, Placement, PlacementStrategy};
 use crate::remap::{route_circuit_persistent_traced, SwapStrategy};
-use crate::route::{route_circuit_traced, RoutingObjective};
+use crate::route::{route_circuit_bounded, RoutingObjective};
 use qsyn_arch::{CostModel, Device, TransmonCost};
 use qsyn_circuit::{Circuit, CircuitStats};
-use qsyn_qmdd::{equivalent, equivalent_miter};
-use qsyn_trace::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot, TraceSink};
+use qsyn_qmdd::{try_equivalent, try_equivalent_miter, EquivBudget, EquivBudgetError};
+use qsyn_trace::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot, TraceSink, Verdict};
 use std::sync::Arc;
 
 /// Which formal equivalence check to run on the compiled output.
@@ -123,8 +124,11 @@ pub struct Compiler {
     decompose: DecomposeStrategy,
     verification: Verification,
     optimization: Optimization,
+    budget: CompileBudget,
     trace: Option<Arc<dyn TraceSink>>,
     job: Option<u64>,
+    #[cfg(feature = "fault-injection")]
+    inject: Option<crate::budget::FaultSpec>,
 }
 
 impl std::fmt::Debug for Compiler {
@@ -154,9 +158,34 @@ impl Compiler {
             decompose: DecomposeStrategy::Exact,
             verification: Verification::Auto,
             optimization: Optimization::default_enabled(),
+            budget: CompileBudget::default(),
             trace: None,
             job: None,
+            #[cfg(feature = "fault-injection")]
+            inject: None,
         }
+    }
+
+    /// Bounds this compiler's resource usage (wall clock, QMDD nodes,
+    /// optimizer rounds, routing SWAPs) — see [`CompileBudget`]. The
+    /// default is unlimited.
+    pub fn with_budget(mut self, budget: CompileBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The active resource budget.
+    pub fn budget(&self) -> &CompileBudget {
+        &self.budget
+    }
+
+    /// Arms a deliberate fault that fires at the start of one pass —
+    /// exercises sweep fault isolation and budget recovery paths in tests
+    /// and CI. Requires the `fault-injection` cargo feature.
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault_injection(mut self, spec: crate::budget::FaultSpec) -> Self {
+        self.inject = Some(spec);
+        self
     }
 
     /// Selects the SWAP strategy: the paper's swap-out/swap-back CTR or
@@ -254,7 +283,10 @@ impl Compiler {
     /// * [`CompileError::RouteNotFound`] — disconnected coupling map;
     /// * [`CompileError::VerificationFailed`] — the built-in QMDD check
     ///   rejected the output (never expected; would indicate a compiler
-    ///   defect).
+    ///   defect);
+    /// * [`CompileError::BudgetExceeded`] — a [`CompileBudget`] cap was
+    ///   hit (deadline, QMDD nodes under [`VerifyMode::Strict`], or
+    ///   routing SWAPs).
     pub fn compile(&self, input: &Circuit) -> Result<CompileResult, CompileError> {
         if input.n_qubits() > self.device.n_qubits() {
             return Err(CompileError::TooWide {
@@ -273,6 +305,8 @@ impl Compiler {
         };
 
         // Placement.
+        self.check_deadline(started, Pass::Place)?;
+        self.maybe_inject(Pass::Place)?;
         let snap_input = StageSnapshot::of(input);
         let span = Span::begin(Pass::Place);
         let placement = place(input, &self.device, self.placement);
@@ -285,21 +319,43 @@ impl Compiler {
         }));
 
         // Decomposition (Barenco + Clifford+T lowering).
+        self.check_deadline(started, Pass::Decompose)?;
+        self.maybe_inject(Pass::Decompose)?;
         let span = Span::begin(Pass::Decompose);
         let decomposed = decompose_circuit_with(&placed, Some(&self.device), self.decompose)?;
         let snap_decomposed = StageSnapshot::of(&decomposed);
         record(self.finish(span, snap_placed, snap_decomposed, |_| {}));
 
         // Routing against the coupling map.
+        self.check_deadline(started, Pass::Route)?;
+        self.maybe_inject(Pass::Route)?;
         let span = Span::begin(Pass::Route);
         let (mut unoptimized, swaps_inserted, gates_rerouted, restoration) = match self.swaps {
             SwapStrategy::ReturnControl => {
-                let (c, k) = route_circuit_traced(&decomposed, &self.device, self.routing)?;
+                let (c, k) = route_circuit_bounded(
+                    &decomposed,
+                    &self.device,
+                    self.routing,
+                    self.budget.max_route_swaps,
+                )?;
                 (c, k.swaps_inserted, k.gates_rerouted, 0)
             }
             SwapStrategy::PersistentLayout => {
                 let (c, k) =
                     route_circuit_persistent_traced(&decomposed, &self.device, self.routing)?;
+                // The persistent router computes the restoration network at
+                // the end, so the cap is enforced on the completed total.
+                if let Some(cap) = self.budget.max_route_swaps {
+                    let total = k.swaps_inserted + k.restoration_swaps;
+                    if total > cap {
+                        return Err(CompileError::BudgetExceeded {
+                            pass: Pass::Route,
+                            resource: BudgetResource::RouteSwaps,
+                            limit: cap as u64,
+                            used: total as u64,
+                        });
+                    }
+                }
                 (c, k.swaps_inserted, k.gates_rerouted, k.restoration_swaps)
             }
         };
@@ -315,11 +371,17 @@ impl Compiler {
 
         // Local optimization (an event is emitted even when disabled, so
         // the Fig. 2 event order is stable; `enabled` disambiguates).
+        self.check_deadline(started, Pass::Optimize)?;
+        self.maybe_inject(Pass::Optimize)?;
         let span = Span::begin(Pass::Optimize);
         let (optimized, opt_counters) = match self.optimization.config() {
-            Some(cfg) => {
-                optimize_traced(&unoptimized, Some(&self.device), self.cost.as_ref(), cfg)
-            }
+            Some(cfg) => optimize_bounded(
+                &unoptimized,
+                Some(&self.device),
+                self.cost.as_ref(),
+                cfg,
+                self.budget.max_optimize_rounds,
+            ),
             None => (unoptimized.clone(), OptimizeCounters::default()),
         };
         let snap_optimized = StageSnapshot::of(&optimized);
@@ -330,29 +392,26 @@ impl Compiler {
             );
             s.counter("rounds", opt_counters.rounds as f64);
             s.counter("gates_removed", opt_counters.gates_removed as f64);
+            s.counter("capped", f64::from(u8::from(opt_counters.capped)));
         }));
 
-        // QMDD formal verification.
-        let verified = match self.effective_verification() {
-            Verification::None => None,
-            mode => {
-                let span = Span::begin(Pass::Verify);
-                let report = match mode {
-                    Verification::Canonical => equivalent(&placed, &optimized),
-                    _ => equivalent_miter(&placed, &optimized),
-                };
-                record(self.finish(span, snap_optimized, snap_optimized, |s| {
-                    s.counter("peak_nodes", report.peak_nodes as f64);
-                    s.counter("unique_nodes", report.unique_nodes as f64);
-                    s.counter("cache_lookups", report.cache_lookups as f64);
-                    s.counter("cache_hit_rate", report.cache_hit_rate());
-                    s.counter("cache_evictions", report.cache_evictions as f64);
-                    s.counter("gc_runs", report.gc_runs as f64);
-                    s.counter("nodes_reclaimed", report.nodes_reclaimed as f64);
-                }));
-                Some(report.equivalent)
-            }
+        // QMDD formal verification (degradation ladder under the budget).
+        // The injection hook fires at the pass boundary even when
+        // verification is disabled, so `--inject-fault verify:*` exercises
+        // the recovery path in `--no-verify` sweeps too.
+        self.maybe_inject(Pass::Verify)?;
+        let verdict = match self.effective_verification() {
+            Verification::None => Verdict::Skipped,
+            mode => self.run_verify_ladder(
+                mode,
+                started,
+                &placed,
+                &optimized,
+                snap_optimized,
+                &mut record,
+            )?,
         };
+        let verified = verdict.as_verified();
 
         let metrics = CompileMetrics {
             circuit: base_name,
@@ -360,6 +419,7 @@ impl Compiler {
             cost_model: self.cost.name().to_string(),
             events,
             verified,
+            verdict,
             total_seconds: started.elapsed().as_secs_f64(),
         };
         if let Some(sink) = &self.trace {
@@ -397,6 +457,176 @@ impl Compiler {
         )
     }
 
+    /// Fails with a wall-clock [`CompileError::BudgetExceeded`] when the
+    /// budget deadline has passed (checked at every pass boundary).
+    fn check_deadline(
+        &self,
+        started: std::time::Instant,
+        pass: Pass,
+    ) -> Result<(), CompileError> {
+        match self.budget.deadline {
+            Some(deadline) if started.elapsed() > deadline => {
+                Err(CompileError::BudgetExceeded {
+                    pass,
+                    resource: BudgetResource::WallClock,
+                    limit: deadline.as_millis() as u64,
+                    used: started.elapsed().as_millis() as u64,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn maybe_inject(&self, pass: Pass) -> Result<(), CompileError> {
+        use crate::budget::FaultKind;
+        match self.inject {
+            Some(spec) if spec.pass == pass => match spec.kind {
+                FaultKind::Panic => panic!("injected fault: panic in {pass} pass"),
+                FaultKind::Budget => Err(CompileError::BudgetExceeded {
+                    pass,
+                    resource: BudgetResource::QmddNodes,
+                    limit: 0,
+                    used: 0,
+                }),
+                FaultKind::VerifyFail => Err(CompileError::VerificationFailed),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline]
+    fn maybe_inject(&self, _pass: Pass) -> Result<(), CompileError> {
+        Ok(())
+    }
+
+    /// Walks the verification degradation ladder and emits the verify
+    /// [`PassEvent`].
+    ///
+    /// Rungs, in order (later rungs only exist under a node budget, where
+    /// exhaustion is possible):
+    ///
+    /// 1. the requested check (`canonical` or `miter`) with no forced GC;
+    /// 2. the same check with an aggressive GC watermark (half the budget),
+    ///    trading time for arena headroom;
+    /// 3. for canonical mode, the interleaved `miter` check, whose working
+    ///    set is typically far smaller.
+    ///
+    /// A rung that completes yields [`Verdict::Verified`] or
+    /// [`Verdict::Failed`] naming the method. A rung that exhausts the
+    /// node budget falls through to the next; when every rung exhausts,
+    /// [`VerifyMode::Degrade`] records an explicit
+    /// [`Verdict::Unverified`] (with an `unverified` counter on the event
+    /// so traces flag it loudly) while [`VerifyMode::Strict`] aborts the
+    /// compile with [`CompileError::BudgetExceeded`].
+    fn run_verify_ladder(
+        &self,
+        mode: Verification,
+        started: std::time::Instant,
+        spec: &Circuit,
+        output: &Circuit,
+        snap: StageSnapshot,
+        record: &mut dyn FnMut(PassEvent),
+    ) -> Result<Verdict, CompileError> {
+        if let Err(e) = self.check_deadline(started, Pass::Verify) {
+            match self.budget.verify_mode {
+                VerifyMode::Strict => return Err(e),
+                VerifyMode::Degrade => {
+                    let span = Span::begin(Pass::Verify);
+                    record(self.finish(span, snap, snap, |s| {
+                        s.counter("unverified", 1.0);
+                        s.counter("ladder_rungs_tried", 0.0);
+                    }));
+                    return Ok(Verdict::Unverified {
+                        reason: "wall-clock deadline reached before verification".to_string(),
+                    });
+                }
+            }
+        }
+
+        let nb = self.budget.qmdd_node_budget;
+        let mut rungs: Vec<(&'static str, EquivBudget, bool)> = Vec::new();
+        let base = EquivBudget {
+            gc_threshold: None,
+            node_budget: nb,
+        };
+        let is_miter = !matches!(mode, Verification::Canonical);
+        rungs.push((if is_miter { "miter" } else { "canonical" }, base, is_miter));
+        if let Some(n) = nb {
+            // Only a finite budget can exhaust; add the fallback rungs.
+            let gc = EquivBudget {
+                gc_threshold: Some((n / 2).max(2)),
+                node_budget: nb,
+            };
+            if is_miter {
+                rungs.push(("miter+gc", gc, true));
+            } else {
+                rungs.push(("canonical+gc", gc, false));
+                rungs.push(("miter", gc, true));
+            }
+        }
+
+        let span = Span::begin(Pass::Verify);
+        let mut tried = 0usize;
+        let mut last_err: Option<EquivBudgetError> = None;
+        for (rung, (method, budget, miter)) in rungs.into_iter().enumerate() {
+            if rung > 0 && self.check_deadline(started, Pass::Verify).is_err() {
+                break; // deadline mid-ladder: stop retrying, degrade below
+            }
+            tried += 1;
+            let result = if miter {
+                try_equivalent_miter(spec, output, budget)
+            } else {
+                try_equivalent(spec, output, budget)
+            };
+            match result {
+                Ok(report) => {
+                    record(self.finish(span, snap, snap, |s| {
+                        s.counter("peak_nodes", report.peak_nodes as f64);
+                        s.counter("unique_nodes", report.unique_nodes as f64);
+                        s.counter("cache_lookups", report.cache_lookups as f64);
+                        s.counter("cache_hit_rate", report.cache_hit_rate());
+                        s.counter("cache_evictions", report.cache_evictions as f64);
+                        s.counter("gc_runs", report.gc_runs as f64);
+                        s.counter("nodes_reclaimed", report.nodes_reclaimed as f64);
+                        s.counter("ladder_rung", (rung + 1) as f64);
+                        s.counter("unverified", 0.0);
+                    }));
+                    let method = method.to_string();
+                    return Ok(if report.equivalent {
+                        Verdict::Verified { method }
+                    } else {
+                        Verdict::Failed { method }
+                    });
+                }
+                Err(e) => {
+                    if self.budget.verify_mode == VerifyMode::Strict {
+                        return Err(CompileError::BudgetExceeded {
+                            pass: Pass::Verify,
+                            resource: BudgetResource::QmddNodes,
+                            limit: e.limit as u64,
+                            used: e.used as u64,
+                        });
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+
+        // Every rung exhausted (or the deadline cut the ladder short):
+        // an explicit, loud "unverified" — never a silent pass.
+        let reason = match last_err {
+            Some(e) => format!("verification ladder exhausted after {tried} rung(s): {e}"),
+            None => "wall-clock deadline cut the verification ladder short".to_string(),
+        };
+        record(self.finish(span, snap, snap, |s| {
+            s.counter("unverified", 1.0);
+            s.counter("ladder_rungs_tried", tried as f64);
+        }));
+        Ok(Verdict::Unverified { reason })
+    }
+
     fn effective_verification(&self) -> Verification {
         match self.verification {
             Verification::Auto => {
@@ -426,7 +656,9 @@ pub struct CompileResult {
     /// columns; emit with [`qsyn_circuit::to_qasm`]).
     pub optimized: Circuit,
     /// `Some(true)` when a QMDD equivalence check ran and passed; `None`
-    /// when verification was disabled.
+    /// when verification was disabled or ended
+    /// [`Verdict::Unverified`] under a degraded budget (see
+    /// [`CompileResult::verdict`] for the distinction).
     pub verified: Option<bool>,
     metrics: CompileMetrics,
 }
@@ -439,6 +671,13 @@ impl CompileResult {
     /// [`CompileMetrics::to_json`].
     pub fn metrics(&self) -> &CompileMetrics {
         &self.metrics
+    }
+
+    /// The verification verdict: which ladder rung decided (canonical,
+    /// forced-GC retry, miter), or why the output is explicitly
+    /// unverified. Richer than the boolean [`CompileResult::verified`].
+    pub fn verdict(&self) -> &Verdict {
+        &self.metrics.verdict
     }
 
     /// Statistics of the pre-optimization mapping.
@@ -875,5 +1114,210 @@ mod tests {
         let text = format!("{c:?}");
         assert!(text.contains("ibmqx2"));
         assert!(text.contains("transmon-eqn2"));
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_compile() {
+        let budget = CompileBudget::default()
+            .with_deadline(std::time::Duration::from_secs(600))
+            .with_node_budget(1 << 22)
+            .with_max_optimize_rounds(10_000)
+            .with_max_route_swaps(1_000_000);
+        let bounded = Compiler::new(devices::ibmqx4())
+            .with_budget(budget)
+            .compile(&toffoli_spec())
+            .unwrap();
+        let free = Compiler::new(devices::ibmqx4()).compile(&toffoli_spec()).unwrap();
+        assert_eq!(bounded.optimized, free.optimized);
+        assert_eq!(bounded.verified, Some(true));
+        assert_eq!(
+            *bounded.verdict(),
+            qsyn_trace::Verdict::Verified {
+                method: "canonical".into()
+            }
+        );
+        let verify = bounded.metrics().pass(Pass::Verify).unwrap();
+        assert_eq!(verify.counter("ladder_rung"), Some(1.0));
+        assert_eq!(verify.counter("unverified"), Some(0.0));
+    }
+
+    #[test]
+    fn tiny_node_budget_degrades_to_explicit_unverified() {
+        // A budget too small even for the identity QMDD: every ladder rung
+        // exhausts, and the compile still succeeds with a loud verdict.
+        let r = Compiler::new(devices::ibmqx4())
+            .with_budget(CompileBudget::default().with_node_budget(2))
+            .compile(&toffoli_spec())
+            .unwrap();
+        assert_eq!(r.verified, None);
+        assert!(r.verdict().is_unverified(), "{:?}", r.verdict());
+        let verify = r.metrics().pass(Pass::Verify).unwrap();
+        assert_eq!(verify.counter("unverified"), Some(1.0));
+        assert_eq!(verify.counter("ladder_rungs_tried"), Some(3.0));
+        assert_eq!(r.metrics().verdict, *r.verdict());
+    }
+
+    #[test]
+    fn tiny_node_budget_in_strict_mode_is_a_hard_error() {
+        let budget = CompileBudget::default()
+            .with_node_budget(2)
+            .with_verify_mode(VerifyMode::Strict);
+        let err = Compiler::new(devices::ibmqx4())
+            .with_budget(budget)
+            .compile(&toffoli_spec())
+            .unwrap_err();
+        match err {
+            CompileError::BudgetExceeded {
+                pass,
+                resource,
+                limit,
+                used,
+            } => {
+                assert_eq!(pass, Pass::Verify);
+                assert_eq!(resource, BudgetResource::QmddNodes);
+                assert_eq!(limit, 2);
+                assert!(used > 2);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_trips_before_the_first_pass() {
+        let err = Compiler::new(devices::ibmqx4())
+            .with_budget(CompileBudget::default().with_deadline(std::time::Duration::ZERO))
+            .compile(&toffoli_spec())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::BudgetExceeded {
+                    pass: Pass::Place,
+                    resource: BudgetResource::WallClock,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn optimize_round_cap_degrades_gracefully() {
+        let r = Compiler::new(devices::ibmqx3())
+            .with_budget(CompileBudget::default().with_max_optimize_rounds(0))
+            .compile(&toffoli_spec())
+            .unwrap();
+        // Zero rounds: nothing optimized, but the compile still verifies.
+        assert_eq!(r.optimized, r.unoptimized);
+        assert_eq!(r.verified, Some(true));
+        let opt = r.metrics().pass(Pass::Optimize).unwrap();
+        assert_eq!(opt.counter("capped"), Some(1.0));
+        assert_eq!(opt.counter("rounds"), Some(0.0));
+    }
+
+    #[test]
+    fn route_swap_cap_surfaces_through_compile() {
+        let mut c = Circuit::new(16);
+        c.push(Gate::cx(5, 10));
+        let err = Compiler::new(devices::ibmqx3())
+            .with_budget(CompileBudget::default().with_max_route_swaps(1))
+            .compile(&c)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::BudgetExceeded {
+                    pass: Pass::Route,
+                    resource: BudgetResource::RouteSwaps,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_device_surfaces_route_not_found() {
+        // Regression: a coupling map with two components (0-1 and 2-3) has
+        // no SWAP chain joining them. A CNOT across the cut must come back
+        // as a structured `RouteNotFound`, not a panic or a hang.
+        let device = qsyn_arch::Device::from_coupling_map(
+            "split",
+            4,
+            &[(0, &[1][..]), (2, &[3][..])],
+        );
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(0, 2));
+        let err = Compiler::new(device)
+            .with_verification(Verification::None)
+            .compile(&c)
+            .unwrap_err();
+        assert!(
+            matches!(err, CompileError::RouteNotFound { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn miter_mode_ladder_names_its_method() {
+        // Wide device forces Verification::Miter under Auto.
+        let mut spec = Circuit::new(20);
+        spec.push(Gate::toffoli(0, 1, 2));
+        let r = Compiler::new(devices::qc96()).compile(&spec).unwrap();
+        assert_eq!(
+            *r.verdict(),
+            qsyn_trace::Verdict::Verified {
+                method: "miter".into()
+            }
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod injection {
+        use super::*;
+        use crate::budget::{FaultKind, FaultSpec};
+
+        #[test]
+        fn injected_budget_fault_errors_at_the_named_pass() {
+            let err = Compiler::new(devices::ibmqx4())
+                .with_fault_injection(FaultSpec {
+                    pass: Pass::Route,
+                    kind: FaultKind::Budget,
+                })
+                .compile(&toffoli_spec())
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                CompileError::BudgetExceeded {
+                    pass: Pass::Route,
+                    ..
+                }
+            ));
+        }
+
+        #[test]
+        fn injected_verify_fail_errors() {
+            let err = Compiler::new(devices::ibmqx4())
+                .with_fault_injection(FaultSpec {
+                    pass: Pass::Verify,
+                    kind: FaultKind::VerifyFail,
+                })
+                .compile(&toffoli_spec())
+                .unwrap_err();
+            assert_eq!(err, CompileError::VerificationFailed);
+        }
+
+        #[test]
+        fn injected_panic_panics() {
+            let result = std::panic::catch_unwind(|| {
+                Compiler::new(devices::ibmqx4())
+                    .with_fault_injection(FaultSpec {
+                        pass: Pass::Decompose,
+                        kind: FaultKind::Panic,
+                    })
+                    .compile(&toffoli_spec())
+            });
+            assert!(result.is_err());
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Compilation errors.
 
+use crate::budget::BudgetResource;
+use qsyn_trace::Pass;
 use std::error::Error;
 use std::fmt;
 
@@ -35,6 +37,18 @@ pub enum CompileError {
     UnmappedGate(String),
     /// The built-in QMDD equivalence check rejected the compiled output.
     VerificationFailed,
+    /// A [`CompileBudget`](crate::CompileBudget) cap was hit: the compile
+    /// stopped cleanly instead of growing without bound.
+    BudgetExceeded {
+        /// The pass that blew the cap.
+        pass: Pass,
+        /// Which resource ran out.
+        resource: BudgetResource,
+        /// The configured ceiling (ms for wall clock, counts otherwise).
+        limit: u64,
+        /// Observed usage when the cap tripped.
+        used: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -59,6 +73,15 @@ impl fmt::Display for CompileError {
             CompileError::VerificationFailed => {
                 f.write_str("QMDD equivalence check failed: output differs from specification")
             }
+            CompileError::BudgetExceeded {
+                pass,
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "compile budget exceeded in {pass} pass: {resource} used {used} of limit {limit}"
+            ),
         }
     }
 }
@@ -87,5 +110,16 @@ mod tests {
         .contains("SWAP route"));
         assert!(CompileError::VerificationFailed.to_string().contains("QMDD"));
         assert!(CompileError::UnmappedGate("T5".into()).to_string().contains("T5"));
+        let b = CompileError::BudgetExceeded {
+            pass: Pass::Verify,
+            resource: BudgetResource::QmddNodes,
+            limit: 1024,
+            used: 1090,
+        };
+        let msg = b.to_string();
+        assert!(msg.contains("verify"), "{msg}");
+        assert!(msg.contains("qmdd-nodes"), "{msg}");
+        assert!(msg.contains("1090"), "{msg}");
+        assert!(msg.contains("1024"), "{msg}");
     }
 }

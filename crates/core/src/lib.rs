@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 mod compiler;
 pub mod decompose;
 mod error;
@@ -45,13 +46,18 @@ pub mod remap;
 pub mod route;
 pub mod sk;
 
+pub use budget::{BudgetResource, CompileBudget, VerifyMode};
+#[cfg(feature = "fault-injection")]
+pub use budget::{FaultKind, FaultSpec};
 pub use compiler::{CompileResult, Compiler, Optimization, Verification};
 pub use error::CompileError;
 pub use decompose::{
     decompose_circuit, decompose_circuit_for, decompose_circuit_with, mct_decompose,
     mct_to_toffolis, rccx, rccx_dagger, DecomposeStrategy,
 };
-pub use optimize::{optimize, optimize_traced, optimize_with, OptimizeConfig, OptimizeCounters};
+pub use optimize::{
+    optimize, optimize_bounded, optimize_traced, optimize_with, OptimizeConfig, OptimizeCounters,
+};
 pub use place::{place, Placement, PlacementStrategy};
 pub use remap::{
     route_circuit_persistent, route_circuit_persistent_traced, PersistentRouteCounters,
@@ -59,6 +65,7 @@ pub use remap::{
 };
 pub use sk::{approximate_rz, approximate_rz_to_accuracy, approximate_unitary, SkApproximation};
 pub use route::{
-    ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, route_circuit_traced,
-    route_circuit_with, CtrRoute, RouteCounters, RoutingObjective, DEFAULT_CNOT_ERROR,
+    ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, route_circuit_bounded,
+    route_circuit_traced, route_circuit_with, CtrRoute, RouteCounters, RoutingObjective,
+    DEFAULT_CNOT_ERROR,
 };

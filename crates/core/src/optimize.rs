@@ -400,6 +400,9 @@ pub struct OptimizeCounters {
     pub rounds: usize,
     /// Gates removed between the input and the accepted result.
     pub gates_removed: usize,
+    /// Whether a round cap stopped the loop while it was still improving
+    /// (graceful early stop under a [`crate::CompileBudget`]).
+    pub capped: bool,
 }
 
 /// Runs the local optimizers recursively until the cost function stops
@@ -421,11 +424,30 @@ pub fn optimize_traced(
     cost: &dyn CostModel,
     config: OptimizeConfig,
 ) -> (Circuit, OptimizeCounters) {
+    optimize_bounded(circuit, device, cost, config, None)
+}
+
+/// [`optimize_traced`] with an optional cap on improvement rounds.
+///
+/// The cap is a *graceful* bound: hitting it keeps the best circuit found
+/// so far and sets [`OptimizeCounters::capped`] rather than erroring —
+/// optimization is best-effort, so a truncated result is still valid.
+pub fn optimize_bounded(
+    circuit: &Circuit,
+    device: Option<&Device>,
+    cost: &dyn CostModel,
+    config: OptimizeConfig,
+    max_rounds: Option<usize>,
+) -> (Circuit, OptimizeCounters) {
     let n = circuit.n_qubits();
     let mut best = circuit.clone();
     let mut best_cost = cost.circuit_cost(&best);
     let mut counters = OptimizeCounters::default();
     loop {
+        if max_rounds.is_some_and(|cap| counters.rounds >= cap) {
+            counters.capped = true;
+            break;
+        }
         let mut gates = best.gates().to_vec();
         let mut any = false;
         if config.cancel_identities {
@@ -724,6 +746,28 @@ mod tests {
         assert_eq!(traced, plain, "tracing must not change the output");
         assert!(counters.rounds >= 1);
         assert_eq!(counters.gates_removed, c.len() - traced.len());
+    }
+
+    #[test]
+    fn round_cap_stops_gracefully() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::h(0));
+        c.push(Gate::t(1));
+        c.push(Gate::t(1));
+        let cost = TransmonCost::default();
+        let cfg = OptimizeConfig::default();
+        // Zero rounds: the input comes back unchanged, flagged as capped.
+        let (same, k) = optimize_bounded(&c, None, &cost, cfg, Some(0));
+        assert_eq!(same, c);
+        assert!(k.capped);
+        assert_eq!(k.rounds, 0);
+        // An unbounded cap matches the uncapped optimizer exactly.
+        let (unbounded, uk) = optimize_bounded(&c, None, &cost, cfg, Some(1000));
+        let (plain, pk) = optimize_traced(&c, None, &cost, cfg);
+        assert_eq!(unbounded, plain);
+        assert_eq!(uk.rounds, pk.rounds);
+        assert!(!pk.capped, "uncapped run must not report a cap");
     }
 
     #[test]

@@ -131,7 +131,11 @@ fn ctr_route_fidelity(
     control: usize,
     target: usize,
 ) -> Result<CtrRoute, CompileError> {
-    assert_ne!(control, target, "CNOT control equals target");
+    if control == target {
+        return Err(CompileError::UnmappedGate(format!(
+            "degenerate CNOT: control equals target (q{control})"
+        )));
+    }
     let n = device.n_qubits();
     SCRATCH.with(|scratch| {
         let s = &mut *scratch.borrow_mut();
@@ -193,7 +197,11 @@ fn ctr_route_fidelity(
 }
 
 fn ctr_route_bfs(device: &Device, control: usize, target: usize) -> Result<CtrRoute, CompileError> {
-    assert_ne!(control, target, "CNOT control equals target");
+    if control == target {
+        return Err(CompileError::UnmappedGate(format!(
+            "degenerate CNOT: control equals target (q{control})"
+        )));
+    }
     if device.are_adjacent(control, target) {
         return Ok(CtrRoute {
             path: vec![control],
@@ -426,17 +434,50 @@ pub fn route_circuit_traced(
     device: &Device,
     objective: RoutingObjective,
 ) -> Result<(Circuit, RouteCounters), CompileError> {
+    route_circuit_bounded(circuit, device, objective, None)
+}
+
+/// [`route_circuit_traced`] under an optional SWAP-insertion cap.
+///
+/// Inserting more than `max_swaps` adjacent SWAPs aborts the pass with
+/// [`CompileError::BudgetExceeded`] — the cap a
+/// [`CompileBudget`](crate::CompileBudget) sets via
+/// [`with_max_route_swaps`](crate::CompileBudget::with_max_route_swaps).
+/// `None` routes without a cap.
+///
+/// # Errors
+///
+/// See [`route_circuit`], plus [`CompileError::BudgetExceeded`] on a blown
+/// cap.
+pub fn route_circuit_bounded(
+    circuit: &Circuit,
+    device: &Device,
+    objective: RoutingObjective,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
     let mut out = Circuit::new(device.n_qubits());
     if let Some(name) = circuit.name() {
         out.set_name(name.to_string());
     }
     let mut counters = RouteCounters::default();
+    let check_cap = |counters: &RouteCounters| -> Result<(), CompileError> {
+        match max_swaps {
+            Some(cap) if counters.swaps_inserted > cap => Err(CompileError::BudgetExceeded {
+                pass: qsyn_trace::Pass::Route,
+                resource: crate::budget::BudgetResource::RouteSwaps,
+                limit: cap as u64,
+                used: counters.swaps_inserted as u64,
+            }),
+            _ => Ok(()),
+        }
+    };
     for g in circuit.gates() {
         match g {
             Gate::Single { .. } => out.push(g.clone()),
             Gate::Cx { control, target } => {
                 let route = ctr_route_with(device, *control, *target, objective)?;
                 counters.record(&route);
+                check_cap(&counters)?;
                 emit_cnot_via(device, &route, *target, &mut out)?;
             }
             Gate::Cz { control, target }
@@ -444,6 +485,7 @@ pub fn route_circuit_traced(
             {
                 let route = ctr_route_with(device, *control, *target, objective)?;
                 counters.record(&route);
+                check_cap(&counters)?;
                 emit_cz_via(device, &route, *target, &mut out)?;
             }
             other => return Err(CompileError::UnmappedGate(other.to_string())),
@@ -760,5 +802,52 @@ mod tests {
         spec.push(Gate::cx(5, 45));
         // Wide register: use the miter strategy.
         assert!(qsyn_qmdd::equivalent_miter(&spec, &out).equivalent);
+    }
+
+    #[test]
+    fn degenerate_cnot_is_an_error_not_a_panic() {
+        let d = devices::ibmqx4();
+        for objective in [
+            RoutingObjective::FewestSwaps,
+            RoutingObjective::HighestFidelity,
+        ] {
+            match ctr_route_with(&d, 2, 2, objective) {
+                Err(CompileError::UnmappedGate(msg)) => {
+                    assert!(msg.contains("control equals target"), "{msg}")
+                }
+                other => panic!("expected UnmappedGate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn swap_cap_aborts_with_budget_exceeded() {
+        let d = devices::ibmqx3();
+        let mut c = Circuit::new(16);
+        c.push(Gate::cx(5, 10)); // distant pair: needs several SWAPs
+        let (_, counters) =
+            route_circuit_bounded(&c, &d, RoutingObjective::FewestSwaps, None).unwrap();
+        assert!(counters.swaps_inserted >= 2);
+        // A cap below the real requirement trips the budget...
+        match route_circuit_bounded(&c, &d, RoutingObjective::FewestSwaps, Some(1)) {
+            Err(CompileError::BudgetExceeded {
+                pass,
+                resource,
+                limit,
+                used,
+            }) => {
+                assert_eq!(pass, qsyn_trace::Pass::Route);
+                assert_eq!(resource, crate::budget::BudgetResource::RouteSwaps);
+                assert_eq!(limit, 1);
+                assert!(used > 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // ...while a generous cap matches the uncapped result.
+        let (bounded, bc) =
+            route_circuit_bounded(&c, &d, RoutingObjective::FewestSwaps, Some(1000)).unwrap();
+        let (free, fc) = route_circuit_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+        assert_eq!(bounded.gates().len(), free.gates().len());
+        assert_eq!(bc.swaps_inserted, fc.swaps_inserted);
     }
 }

@@ -45,6 +45,79 @@ impl EquivReport {
     }
 }
 
+/// Resource limits for a bounded equivalence check.
+///
+/// The default is unlimited on both axes, which makes
+/// [`try_equivalent`] / [`try_equivalent_miter`] infallible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EquivBudget {
+    /// Forced garbage-collection watermark: `Some(nodes)` collects whenever
+    /// the arena exceeds that size (see [`equivalent_with_gc_threshold`]).
+    pub gc_threshold: Option<usize>,
+    /// Arena-size ceiling: the check aborts with [`EquivBudgetError`] once
+    /// the package allocates more than this many nodes.
+    pub node_budget: Option<usize>,
+}
+
+impl EquivBudget {
+    /// A budget that only forces a GC watermark.
+    pub fn with_gc_threshold(nodes: usize) -> Self {
+        EquivBudget {
+            gc_threshold: Some(nodes),
+            ..EquivBudget::default()
+        }
+    }
+
+    /// A budget that only caps the arena size.
+    pub fn with_node_budget(nodes: usize) -> Self {
+        EquivBudget {
+            node_budget: Some(nodes),
+            ..EquivBudget::default()
+        }
+    }
+}
+
+/// A bounded equivalence check exhausted its node budget before reaching a
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivBudgetError {
+    /// The configured arena ceiling.
+    pub limit: usize,
+    /// Peak arena size actually observed (at most one gate's worth of
+    /// allocations past the ceiling, thanks to the package latch).
+    pub used: usize,
+}
+
+impl std::fmt::Display for EquivBudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QMDD node budget exceeded: used {} of {} nodes",
+            self.used, self.limit
+        )
+    }
+}
+
+impl std::error::Error for EquivBudgetError {}
+
+/// Applies a budget to a fresh package and converts the latch into an error.
+fn apply_budget(pkg: &mut Qmdd, budget: EquivBudget) {
+    if let Some(t) = budget.gc_threshold {
+        pkg.set_gc_threshold(t);
+    }
+    pkg.set_node_budget(budget.node_budget);
+}
+
+fn budget_verdict(pkg: &Qmdd, equivalent: bool) -> Result<EquivReport, EquivBudgetError> {
+    if pkg.budget_exceeded() {
+        return Err(EquivBudgetError {
+            limit: pkg.node_budget().unwrap_or(0),
+            used: pkg.peak_node_count(),
+        });
+    }
+    Ok(report_from(pkg, equivalent))
+}
+
 /// Assembles a report from a finished package and the check's verdict.
 fn report_from(pkg: &Qmdd, equivalent: bool) -> EquivReport {
     let cache = pkg.cache_stats();
@@ -78,18 +151,31 @@ pub fn equivalent_with_gc_threshold(
     b: &Circuit,
     gc_threshold: Option<usize>,
 ) -> EquivReport {
+    let budget = EquivBudget {
+        gc_threshold,
+        node_budget: None,
+    };
+    try_equivalent(a, b, budget).expect("unbudgeted check cannot exhaust")
+}
+
+/// [`equivalent`] under a resource budget: aborts with
+/// [`EquivBudgetError`] instead of growing the arena past
+/// `budget.node_budget`. With no node budget this never fails.
+pub fn try_equivalent(
+    a: &Circuit,
+    b: &Circuit,
+    budget: EquivBudget,
+) -> Result<EquivReport, EquivBudgetError> {
     let n = a.n_qubits().max(b.n_qubits());
     let mut pkg = Qmdd::new(n);
-    if let Some(t) = gc_threshold {
-        pkg.set_gc_threshold(t);
-    }
+    apply_budget(&mut pkg, budget);
     let ea = pkg.circuit(a);
     // Protect the first root: a collection triggered while building the
     // second circuit must keep (and relocate) it.
     let slot = pkg.protect(ea);
     let eb = pkg.circuit(b);
     let ea = pkg.protected(slot);
-    report_from(&pkg, ea == eb)
+    budget_verdict(&pkg, ea == eb)
 }
 
 /// Checks equivalence via the interleaved miter `U_a * U_b^dagger = I`.
@@ -111,15 +197,29 @@ pub fn equivalent_miter_with_gc_threshold(
     b: &Circuit,
     gc_threshold: Option<usize>,
 ) -> EquivReport {
+    let budget = EquivBudget {
+        gc_threshold,
+        node_budget: None,
+    };
+    try_equivalent_miter(a, b, budget).expect("unbudgeted check cannot exhaust")
+}
+
+/// [`equivalent_miter`] under a resource budget; see [`try_equivalent`].
+pub fn try_equivalent_miter(
+    a: &Circuit,
+    b: &Circuit,
+    budget: EquivBudget,
+) -> Result<EquivReport, EquivBudgetError> {
     let n = a.n_qubits().max(b.n_qubits());
     let mut pkg = Qmdd::new(n);
-    if let Some(t) = gc_threshold {
-        pkg.set_gc_threshold(t);
-    }
+    apply_budget(&mut pkg, budget);
     let mut acc = pkg.identity();
     let (la, lb) = (a.len().max(1), b.len().max(1));
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() || j < b.len() {
+        if pkg.budget_exceeded() {
+            break;
+        }
         // Advance whichever side is proportionally behind.
         let take_a = i < a.len() && (j >= b.len() || i * lb <= j * la);
         if take_a {
@@ -135,7 +235,7 @@ pub fn equivalent_miter_with_gc_threshold(
         acc = pkg.maybe_gc(acc);
     }
     let id = pkg.identity();
-    report_from(&pkg, acc == id)
+    budget_verdict(&pkg, acc == id)
 }
 
 /// Convenience: canonical-compare equivalence as a bare boolean.
@@ -446,6 +546,65 @@ mod tests {
             forced.peak_nodes,
             base.peak_nodes
         );
+    }
+
+    fn dense_clifford_t(n: usize, gates: usize, mut s: u64) -> Circuit {
+        let mut c = Circuit::new(n);
+        for _ in 0..gates {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match s % 4 {
+                0 => c.push(Gate::h((s % n as u64) as usize)),
+                1 => c.push(Gate::t((s % n as u64) as usize)),
+                2 => c.push(Gate::tdg((s % n as u64) as usize)),
+                _ => {
+                    let a = (s % n as u64) as usize;
+                    let b = ((s >> 8) % n as u64) as usize;
+                    if a != b {
+                        c.push(Gate::cx(a, b));
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn tiny_node_budget_aborts_cleanly() {
+        let c = dense_clifford_t(6, 200, 17);
+        let err = try_equivalent(&c, &c.clone(), EquivBudget::with_node_budget(16))
+            .expect_err("16 nodes cannot host a dense 6-qubit check");
+        assert_eq!(err.limit, 16);
+        assert!(err.used > 16, "must report the observed overshoot");
+        let err_m = try_equivalent_miter(&c, &c.clone(), EquivBudget::with_node_budget(16))
+            .expect_err("miter under the same budget must abort too");
+        assert_eq!(err_m.limit, 16);
+    }
+
+    #[test]
+    fn generous_node_budget_matches_unbudgeted_verdicts() {
+        let equal = (swap_native(), swap_cnots());
+        let mut tweaked = swap_cnots();
+        tweaked.push(Gate::t(1));
+        let unequal = (swap_native(), tweaked);
+        let budget = EquivBudget {
+            gc_threshold: Some(64),
+            node_budget: Some(1 << 20),
+        };
+        for (a, b) in [&equal, &unequal] {
+            let base = equivalent(a, b);
+            let bounded = try_equivalent(a, b, budget).expect("generous budget");
+            assert_eq!(base.equivalent, bounded.equivalent);
+            let base_m = equivalent_miter(a, b);
+            let bounded_m = try_equivalent_miter(a, b, budget).expect("generous budget");
+            assert_eq!(base_m.equivalent, bounded_m.equivalent);
+        }
+    }
+
+    #[test]
+    fn budget_error_display_names_limits() {
+        let e = EquivBudgetError { limit: 8, used: 11 };
+        let text = e.to_string();
+        assert!(text.contains("8") && text.contains("11"), "{text}");
     }
 
     #[test]

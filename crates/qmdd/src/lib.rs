@@ -38,7 +38,8 @@ pub use ctable::{WeightId, WeightTable, W_NEG_ONE, W_ONE, W_ZERO};
 pub use equiv::{
     build_circuit_qmdd, circuits_equal, equivalent, equivalent_miter,
     equivalent_miter_with_gc_threshold, equivalent_with_ancillas, equivalent_with_gc_threshold,
-    process_fidelity, EquivReport,
+    process_fidelity, try_equivalent, try_equivalent_miter, EquivBudget, EquivBudgetError,
+    EquivReport,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use package::{CacheStats, Edge, NodeId, Qmdd, M2, TERMINAL};

@@ -177,6 +177,9 @@ pub struct Qmdd {
     ctrl_mask: Vec<bool>,
     peak_nodes: usize,
     gc_threshold: usize,
+    /// Arena-size ceiling; crossing it latches [`Qmdd::budget_exceeded`].
+    node_budget: Option<usize>,
+    budget_exceeded: bool,
     ct_lookups: u64,
     ct_hits: u64,
     ct_evictions: u64,
@@ -241,6 +244,8 @@ impl Qmdd {
             gc_runs: 0,
             nodes_reclaimed: 0,
             gc_threshold: 1 << 22,
+            node_budget: None,
+            budget_exceeded: false,
         }
     }
 
@@ -305,6 +310,34 @@ impl Qmdd {
     /// enough that small workloads never collect).
     pub fn set_gc_threshold(&mut self, nodes: usize) {
         self.gc_threshold = nodes.max(2);
+    }
+
+    /// Caps the arena at `nodes` allocated nodes. Crossing the cap latches
+    /// [`Qmdd::budget_exceeded`]; from then on `add`/`mul`/`adjoint` and
+    /// [`Qmdd::circuit`] short-circuit to the zero edge, so the package
+    /// stops growing instead of exhausting memory. The resulting diagrams
+    /// are meaningless and callers must check the flag before trusting any
+    /// edge built after the latch. `None` removes the cap.
+    pub fn set_node_budget(&mut self, nodes: Option<usize>) {
+        self.node_budget = nodes.map(|n| n.max(2));
+    }
+
+    /// The configured node budget, if any.
+    pub fn node_budget(&self) -> Option<usize> {
+        self.node_budget
+    }
+
+    /// Whether the arena has crossed the configured node budget. Latched:
+    /// stays `true` (even across collections) until
+    /// [`Qmdd::clear_budget_exceeded`].
+    pub fn budget_exceeded(&self) -> bool {
+        self.budget_exceeded
+    }
+
+    /// Resets the budget latch (e.g. after a [`Qmdd::compact`] freed space
+    /// and the caller wants to retry a bounded computation).
+    pub fn clear_budget_exceeded(&mut self) {
+        self.budget_exceeded = false;
     }
 
     /// Resizes the bounded add/mul compute tables to `entries` slots each
@@ -380,6 +413,9 @@ impl Qmdd {
                 self.nodes.push(Node { var, edges });
                 self.unique.insert((var, edges), id);
                 self.peak_nodes = self.peak_nodes.max(self.nodes.len());
+                if self.node_budget.is_some_and(|b| self.nodes.len() > b) {
+                    self.budget_exceeded = true;
+                }
                 id
             }
         };
@@ -399,6 +435,9 @@ impl Qmdd {
 
     /// Pointwise matrix sum of two diagrams.
     pub fn add(&mut self, a: Edge, b: Edge) -> Edge {
+        if self.budget_exceeded {
+            return Edge::ZERO;
+        }
         if a.is_zero() {
             return b;
         }
@@ -443,6 +482,9 @@ impl Qmdd {
 
     /// Matrix product `a * b` of two diagrams.
     pub fn mul(&mut self, a: Edge, b: Edge) -> Edge {
+        if self.budget_exceeded {
+            return Edge::ZERO;
+        }
         if a.is_zero() || b.is_zero() {
             return Edge::ZERO;
         }
@@ -478,6 +520,9 @@ impl Qmdd {
     /// Conjugate transpose of a diagram (memoized; linear in the diagram
     /// size).
     pub fn adjoint(&mut self, e: Edge) -> Edge {
+        if self.budget_exceeded {
+            return Edge::ZERO;
+        }
         if e.is_zero() {
             return Edge::ZERO;
         }
@@ -613,6 +658,9 @@ impl Qmdd {
         assert!(c.n_qubits() <= self.n, "circuit wider than package");
         let mut acc = self.identity();
         for g in c.gates() {
+            if self.budget_exceeded {
+                return Edge::ZERO;
+            }
             let ge = self.gate(g);
             acc = self.mul(ge, acc);
             acc = self.maybe_gc(acc);
@@ -1290,6 +1338,77 @@ mod tests {
         let h = pkg.gate(&Gate::h(0));
         let adj = pkg.adjoint(roots[0]);
         let _ = pkg.mul(h, adj);
+    }
+
+    #[test]
+    fn node_budget_latches_and_halts_growth() {
+        let mut pkg = Qmdd::new(6);
+        pkg.set_node_budget(Some(16));
+        let mut c = Circuit::new(6);
+        let mut s = 5u64;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match s % 3 {
+                0 => c.push(Gate::h((s % 6) as usize)),
+                1 => c.push(Gate::t((s % 6) as usize)),
+                _ => {
+                    let a = (s % 6) as usize;
+                    let b = ((s >> 8) % 6) as usize;
+                    if a != b {
+                        c.push(Gate::cx(a, b));
+                    }
+                }
+            }
+        }
+        let e = pkg.circuit(&c);
+        assert!(pkg.budget_exceeded(), "dense 6-qubit build must blow 16 nodes");
+        assert!(e.is_zero(), "poisoned build must return the zero edge");
+        // Growth halts promptly: the arena overshoots the cap by at most
+        // the allocations of the gate under construction, never the ~2^6
+        // node diagrams this circuit actually needs.
+        assert!(
+            pkg.node_count_total() < 64,
+            "arena kept growing after the latch: {}",
+            pkg.node_count_total()
+        );
+        // Arithmetic short-circuits while latched.
+        let id = pkg.identity();
+        assert!(pkg.mul(id, id).is_zero());
+        assert!(pkg.add(id, id).is_zero());
+        assert!(pkg.adjoint(id).is_zero());
+    }
+
+    #[test]
+    fn budget_latch_clears_and_package_recovers() {
+        let mut pkg = Qmdd::new(2);
+        pkg.set_node_budget(Some(2));
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let _ = pkg.circuit(&c);
+        assert!(pkg.budget_exceeded());
+        pkg.set_node_budget(None);
+        pkg.clear_budget_exceeded();
+        let e = pkg.circuit(&c);
+        assert!(!e.is_zero(), "cleared package must compute normally again");
+        let mut clean = Qmdd::new(2);
+        let expected = clean.circuit(&c);
+        assert!(pkg.to_matrix(e).approx_eq(&clean.to_matrix(expected)));
+    }
+
+    #[test]
+    fn generous_budget_never_latches() {
+        let mut pkg = Qmdd::new(3);
+        pkg.set_node_budget(Some(1 << 20));
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::toffoli(0, 1, 2));
+        let e = pkg.circuit(&c);
+        assert!(!pkg.budget_exceeded());
+        let mut clean = Qmdd::new(3);
+        let expected = clean.circuit(&c);
+        assert!(pkg.to_matrix(e).approx_eq(&clean.to_matrix(expected)));
     }
 
     #[test]

@@ -250,6 +250,124 @@ impl Span {
     }
 }
 
+/// Final verification outcome of a compile, including the graceful-
+/// degradation ladder's explicit "gave up" state.
+///
+/// `Unverified` is a first-class outcome, never a silent pass: it records
+/// that every rung of the verification ladder exhausted its resource budget
+/// before reaching a verdict, so the output is *unknown*, not known-good.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Verdict {
+    /// Equivalence established by the named strategy (`"canonical"`,
+    /// `"canonical+gc"`, `"miter"`, ...).
+    Verified {
+        /// The strategy that produced the verdict.
+        method: String,
+    },
+    /// The check ran to completion and the output does **not** implement
+    /// the specification.
+    Failed {
+        /// The strategy that produced the verdict.
+        method: String,
+    },
+    /// Verification was disabled.
+    #[default]
+    Skipped,
+    /// Every ladder rung ran out of budget; no verdict was reached.
+    Unverified {
+        /// Why the ladder gave up (e.g. the budget that was exhausted).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// The legacy boolean view: `Some(true)` for verified, `Some(false)`
+    /// for failed, `None` for skipped *and* unverified (no verdict).
+    pub fn as_verified(&self) -> Option<bool> {
+        match self {
+            Verdict::Verified { .. } => Some(true),
+            Verdict::Failed { .. } => Some(false),
+            Verdict::Skipped | Verdict::Unverified { .. } => None,
+        }
+    }
+
+    /// Whether the ladder gave up without a verdict.
+    pub fn is_unverified(&self) -> bool {
+        matches!(self, Verdict::Unverified { .. })
+    }
+
+    /// Reconstructs a verdict from the legacy `verified` field of
+    /// pre-ladder traces (the strategy was not recorded back then).
+    pub fn from_legacy(verified: Option<bool>) -> Verdict {
+        match verified {
+            Some(true) => Verdict::Verified {
+                method: "unknown".into(),
+            },
+            Some(false) => Verdict::Failed {
+                method: "unknown".into(),
+            },
+            None => Verdict::Skipped,
+        }
+    }
+
+    /// Stable lowercase status identifier used in JSON output.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Verdict::Verified { .. } => "verified",
+            Verdict::Failed { .. } => "failed",
+            Verdict::Skipped => "skipped",
+            Verdict::Unverified { .. } => "unverified",
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut pairs = vec![("status".to_string(), Value::Str(self.status().into()))];
+        match self {
+            Verdict::Verified { method } | Verdict::Failed { method } => {
+                pairs.push(("method".into(), Value::Str(method.clone())));
+            }
+            Verdict::Unverified { reason } => {
+                pairs.push(("reason".into(), Value::Str(reason.clone())));
+            }
+            Verdict::Skipped => {}
+        }
+        Value::Obj(pairs)
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        let method = || {
+            v.get("method")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string()
+        };
+        Some(match v.get("status")?.as_str()? {
+            "verified" => Verdict::Verified { method: method() },
+            "failed" => Verdict::Failed { method: method() },
+            "skipped" => Verdict::Skipped,
+            "unverified" => Verdict::Unverified {
+                reason: v
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Verified { method } => write!(f, "passed ({method})"),
+            Verdict::Failed { method } => write!(f, "FAILED ({method})"),
+            Verdict::Skipped => f.write_str("skipped"),
+            Verdict::Unverified { reason } => write!(f, "UNVERIFIED — {reason}"),
+        }
+    }
+}
+
 /// Structured record of one full compilation: every pass event plus the
 /// identifying context, replacing the old hand-formatted report string.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -263,7 +381,12 @@ pub struct CompileMetrics {
     /// Per-pass events in execution (Fig. 2) order.
     pub events: Vec<PassEvent>,
     /// Verification verdict (`None` when verification was disabled).
+    /// Legacy boolean view of [`CompileMetrics::verdict`]; the two are kept
+    /// coherent by the compiler.
     pub verified: Option<bool>,
+    /// Structured verification outcome, including the degradation ladder's
+    /// explicit [`Verdict::Unverified`] state.
+    pub verdict: Verdict,
     /// Total wall-clock seconds across all passes.
     pub total_seconds: f64,
 }
@@ -342,15 +465,7 @@ impl CompileMetrics {
             "optimization recovered {:.1}% of the mapping cost",
             self.percent_cost_decrease()
         );
-        let _ = writeln!(
-            out,
-            "QMDD verification: {}",
-            match self.verified {
-                Some(true) => "passed",
-                Some(false) => "FAILED",
-                None => "skipped",
-            }
-        );
+        let _ = writeln!(out, "QMDD verification: {}", self.verdict);
         out
     }
 
@@ -367,6 +482,7 @@ impl CompileMetrics {
                     None => Value::Null,
                 },
             ),
+            ("verdict".into(), self.verdict.to_json()),
             ("total_seconds".into(), Value::Num(self.total_seconds)),
             (
                 "events".into(),
@@ -377,13 +493,19 @@ impl CompileMetrics {
 
     /// Deserializes a record produced by [`CompileMetrics::to_json`].
     pub fn from_json(v: &Value) -> Option<Self> {
+        let verified = match v.get("verified")? {
+            Value::Null => None,
+            other => Some(other.as_bool()?),
+        };
         Some(CompileMetrics {
             circuit: v.get("circuit")?.as_str()?.to_string(),
             device: v.get("device")?.as_str()?.to_string(),
             cost_model: v.get("cost_model")?.as_str()?.to_string(),
-            verified: match v.get("verified")? {
-                Value::Null => None,
-                other => Some(other.as_bool()?),
+            verified,
+            // Absent in pre-ladder traces: reconstruct from the boolean.
+            verdict: match v.get("verdict") {
+                Some(obj) => Verdict::from_json(obj)?,
+                None => Verdict::from_legacy(verified),
             },
             total_seconds: v.get("total_seconds")?.as_f64()?,
             events: v
@@ -482,6 +604,9 @@ mod tests {
             cost_model: "transmon-eqn2".into(),
             events: vec![sample_event()],
             verified: Some(true),
+            verdict: Verdict::Verified {
+                method: "canonical".into(),
+            },
             total_seconds: 0.25,
         };
         m.events[0].pass = Pass::Optimize;
@@ -499,6 +624,9 @@ mod tests {
             cost_model: "transmon-eqn2".into(),
             events: vec![sample_event()],
             verified: Some(true),
+            verdict: Verdict::Verified {
+                method: "canonical".into(),
+            },
             total_seconds: 0.0,
         };
         let t = m.render_table();
@@ -506,6 +634,92 @@ mod tests {
         assert!(t.contains("route"));
         assert!(t.contains("swaps_inserted=4"));
         assert!(t.contains("QMDD verification: passed"));
+    }
+
+    #[test]
+    fn verdict_round_trips_through_json() {
+        for verdict in [
+            Verdict::Verified {
+                method: "canonical".into(),
+            },
+            Verdict::Failed {
+                method: "miter".into(),
+            },
+            Verdict::Skipped,
+            Verdict::Unverified {
+                reason: "node budget exhausted on every rung".into(),
+            },
+        ] {
+            let m = CompileMetrics {
+                circuit: "c".into(),
+                device: "d".into(),
+                cost_model: "volume".into(),
+                events: vec![],
+                verified: verdict.as_verified(),
+                verdict: verdict.clone(),
+                total_seconds: 0.0,
+            };
+            let parsed = CompileMetrics::parse(&m.to_json().to_string()).unwrap();
+            assert_eq!(parsed.verdict, verdict);
+            assert_eq!(parsed.verified, verdict.as_verified());
+        }
+    }
+
+    #[test]
+    fn legacy_metrics_without_verdict_key_reconstruct() {
+        let mut m = CompileMetrics {
+            circuit: "c".into(),
+            device: "d".into(),
+            cost_model: "volume".into(),
+            events: vec![],
+            verified: Some(true),
+            verdict: Verdict::Verified {
+                method: "canonical".into(),
+            },
+            total_seconds: 0.0,
+        };
+        // Simulate a pre-ladder trace by dropping the verdict key.
+        let text = m.to_json().to_string();
+        let legacy = text.replacen(
+            ",\"verdict\":{\"status\":\"verified\",\"method\":\"canonical\"}",
+            "",
+            1,
+        );
+        assert_ne!(text, legacy, "verdict key must have been removed");
+        let parsed = CompileMetrics::parse(&legacy).unwrap();
+        assert_eq!(parsed.verified, Some(true));
+        assert_eq!(
+            parsed.verdict,
+            Verdict::Verified {
+                method: "unknown".into()
+            }
+        );
+        // And the boolean drives the reconstruction for the other states.
+        m.verified = None;
+        m.verdict = Verdict::Skipped;
+        let legacy = m
+            .to_json()
+            .to_string()
+            .replacen(",\"verdict\":{\"status\":\"skipped\"}", "", 1);
+        assert_eq!(CompileMetrics::parse(&legacy).unwrap().verdict, Verdict::Skipped);
+    }
+
+    #[test]
+    fn unverified_renders_loudly() {
+        let m = CompileMetrics {
+            circuit: "big".into(),
+            device: "qc96".into(),
+            cost_model: "volume".into(),
+            events: vec![],
+            verified: None,
+            verdict: Verdict::Unverified {
+                reason: "node budget exhausted".into(),
+            },
+            total_seconds: 0.0,
+        };
+        let t = m.render_table();
+        assert!(t.contains("UNVERIFIED"), "{t}");
+        assert!(t.contains("node budget exhausted"), "{t}");
     }
 
     #[test]

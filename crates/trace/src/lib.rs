@@ -39,5 +39,5 @@ mod event;
 pub mod json;
 mod sink;
 
-pub use event::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot};
+pub use event::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot, Verdict};
 pub use sink::{JsonlSink, NullSink, TableSink, TraceSink};

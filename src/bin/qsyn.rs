@@ -28,11 +28,17 @@ USAGE:
   qsyn compile <input> --device <name> [--out FILE] [--no-opt]
                [--no-verify] [--placement identity|greedy|annealed] [--report]
                [--cost eqn2|volume|fidelity] [--trace[=FILE]]
+               [--deadline SECONDS] [--node-budget NODES] [--strict-verify]
       Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
       --report prints a stage-by-stage metrics table on stderr.
       --trace streams one JSON line per compiler pass (wall time, gate/T/
       CNOT counts, cost delta, backend counters) to stderr, or to FILE
       with --trace=FILE.
+      --deadline/--node-budget bound the compile's wall clock and QMDD
+      arena; exceeding a hard budget exits with a structured error. Under
+      the default degraded verification mode an over-budget equivalence
+      check walks a retry ladder and reports `unverified` instead of
+      failing; --strict-verify makes it a hard error (docs/ROBUSTNESS.md).
 
   qsyn check <a> <b> [--miter] [--ancilla 2,3]
       QMDD formal equivalence check of two circuit files; --miter uses the
@@ -179,8 +185,8 @@ fn cmd_devices() -> ExitCode {
 fn cmd_compile(args: &[String]) -> ExitCode {
     let (pos, flags) = parse_or_exit!(
         args,
-        &["no-opt", "no-verify", "report", "trace"],
-        &["device", "out", "placement", "cost"]
+        &["no-opt", "no-verify", "report", "trace", "strict-verify"],
+        &["device", "out", "placement", "cost", "deadline", "node-budget"]
     );
     let [input] = pos.as_slice() else { usage() };
     let Some(device_name) = flag(&flags, "device") else {
@@ -228,6 +234,31 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     };
     let eqn2 = TransmonCost::default();
     compiler = compiler.with_cost_model(cost);
+    let mut budget = CompileBudget::default();
+    if let Some(spec) = flag(&flags, "deadline") {
+        match spec.parse::<f64>() {
+            Ok(secs) if secs.is_finite() && secs >= 0.0 => {
+                budget = budget.with_deadline(std::time::Duration::from_secs_f64(secs));
+            }
+            _ => {
+                eprintln!("error: bad --deadline `{spec}` (want seconds, e.g. 2.5)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(spec) = flag(&flags, "node-budget") {
+        match spec.parse::<usize>() {
+            Ok(nodes) if nodes > 0 => budget = budget.with_node_budget(nodes),
+            _ => {
+                eprintln!("error: bad --node-budget `{spec}` (want a positive node count)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if flag(&flags, "strict-verify").is_some() {
+        budget = budget.with_verify_mode(VerifyMode::Strict);
+    }
+    compiler = compiler.with_budget(budget);
     match flag(&flags, "trace") {
         None => {}
         Some("") => {
@@ -259,6 +290,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 r.verified,
                 r.metrics().total_seconds,
             );
+            if let Verdict::Unverified { reason } = r.verdict() {
+                eprintln!("warning: equivalence not established: {reason}");
+            }
             match flag(&flags, "out") {
                 Some(path) => {
                     if let Err(e) = std::fs::write(path, qasm) {
@@ -408,11 +442,67 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
             cursor = idx + 1;
         }
     }
+    // Verify events carry the degradation-ladder counters (see
+    // docs/ROBUSTNESS.md): `unverified = 1` events must say how many rungs
+    // were tried, and `unverified = 0` events must name the rung (1-based)
+    // that succeeded. Events predating the ladder carry neither counter and
+    // are tolerated as legacy.
+    let mut degraded = 0usize;
+    let mut unverified = 0usize;
+    for (k, e) in events.iter().enumerate() {
+        if e.pass != Pass::Verify {
+            continue;
+        }
+        match e.counter("unverified") {
+            Some(1.0) => {
+                unverified += 1;
+                if e.counter("ladder_rungs_tried").is_none() {
+                    eprintln!(
+                        "error: {input}: event {}: unverified verify event is missing \
+                         the `ladder_rungs_tried` counter",
+                        k + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Some(0.0) => {
+                let rung = e.counter("ladder_rung").unwrap_or(0.0);
+                if rung < 1.0 {
+                    eprintln!(
+                        "error: {input}: event {}: verified verify event must carry \
+                         `ladder_rung` >= 1",
+                        k + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if rung > 1.0 {
+                    degraded += 1;
+                }
+            }
+            Some(v) => {
+                eprintln!(
+                    "error: {input}: event {}: `unverified` counter must be 0 or 1, got {v}",
+                    k + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {} // legacy event: predates the degradation ladder
+        }
+    }
+    let ladder = if degraded + unverified > 0 {
+        format!(" ({degraded} degraded, {unverified} unverified)")
+    } else {
+        String::new()
+    };
     if jobs.is_empty() {
-        eprintln!("{}: {} well-formed pass events", input, events.len());
+        eprintln!(
+            "{}: {} well-formed pass events{ladder}",
+            input,
+            events.len()
+        );
     } else {
         eprintln!(
-            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 order",
+            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 order{ladder}",
             input,
             events.len(),
             jobs.len()

@@ -61,8 +61,9 @@ pub mod prelude {
     };
     pub use qsyn_circuit::{Circuit, CircuitStats};
     pub use qsyn_core::{
-        CompileError, CompileResult, Compiler, DecomposeStrategy, Optimization, OptimizeConfig,
-        PlacementStrategy, RoutingObjective, SwapStrategy, Verification,
+        BudgetResource, CompileBudget, CompileError, CompileResult, Compiler, DecomposeStrategy,
+        Optimization, OptimizeConfig, PlacementStrategy, RoutingObjective, SwapStrategy,
+        Verification, VerifyMode,
     };
     pub use qsyn_esop::{
         cascade_from_esop, parse_pla, synthesize_multi_output, synthesize_single_target, Cube,
@@ -71,6 +72,6 @@ pub mod prelude {
     pub use qsyn_gate::{Gate, Matrix, SingleOp, C64};
     pub use qsyn_qmdd::{circuits_equal, equivalent, equivalent_miter, Qmdd, Simulator};
     pub use qsyn_trace::{
-        CompileMetrics, JsonlSink, NullSink, Pass, PassEvent, TableSink, TraceSink,
+        CompileMetrics, JsonlSink, NullSink, Pass, PassEvent, TableSink, TraceSink, Verdict,
     };
 }
