@@ -183,6 +183,38 @@ impl Device {
         !self.cnot_errors.is_empty()
     }
 
+    /// Stable 128-bit fingerprint of everything that can influence a
+    /// compilation: name, width, the directed coupling set, per-coupling
+    /// error annotations (exact IEEE-754 bits) and the native two-qubit
+    /// gate. Devices are stored in `BTree` containers, so iteration — and
+    /// hence the digest — is deterministic.
+    ///
+    /// The name *is* included: compiled circuits are tagged
+    /// `circuit@device`, so two structurally identical devices with
+    /// different names must not share cache entries (their outputs differ
+    /// byte-for-byte in the name tag).
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = qsyn_circuit::Fnv128::new();
+        h.write_str(&self.name);
+        h.write_usize(self.n_qubits);
+        h.write_usize(self.couplings.len());
+        for &(c, t) in &self.couplings {
+            h.write_usize(c);
+            h.write_usize(t);
+        }
+        h.write_usize(self.cnot_errors.len());
+        for (&(c, t), &e) in &self.cnot_errors {
+            h.write_usize(c);
+            h.write_usize(t);
+            h.write_f64(e);
+        }
+        h.write_u8(match self.native {
+            TwoQubitNative::Cnot => 0,
+            TwoQubitNative::Cz => 1,
+        });
+        h.finish()
+    }
+
     /// A fully connected device (the paper's simulator target): every
     /// ordered pair is a legal CNOT placement and the coupling complexity
     /// is exactly one.
@@ -527,5 +559,32 @@ mod tests {
         let text = toy().to_string();
         assert!(text.contains("toy"));
         assert!(text.contains("complexity"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let base = toy();
+        assert_eq!(base.fingerprint(), toy().fingerprint(), "deterministic");
+
+        // A renamed device is a *different* device (outputs carry the name).
+        let renamed = Device::from_pairs("toy2", 4, base.couplings());
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+
+        // Reversing one coupling direction changes the digest.
+        let mut flipped: Vec<(usize, usize)> = base.couplings().collect();
+        let (c, t) = flipped[0];
+        flipped[0] = (t, c);
+        let flipped = Device::from_pairs("toy", 4, flipped);
+        assert_ne!(base.fingerprint(), flipped.fingerprint());
+
+        // Error annotations and the native gate both matter.
+        let mut annotated = base.clone();
+        annotated.set_cnot_error(0, 1, 0.02);
+        assert_ne!(base.fingerprint(), annotated.fingerprint());
+        let mut reannotated = base.clone();
+        reannotated.set_cnot_error(0, 1, 0.03);
+        assert_ne!(annotated.fingerprint(), reannotated.fingerprint());
+        let cz = base.clone().with_native(TwoQubitNative::Cz);
+        assert_ne!(base.fingerprint(), cz.fingerprint());
     }
 }

@@ -1,11 +1,13 @@
 //! Performance baseline harness: `bench perf` measures the QMDD hot paths
-//! and the parallel sweep engine, then writes `BENCH_qmdd.json`.
+//! and the parallel sweep engine, then writes `BENCH_qmdd.json` plus the
+//! caching report `BENCH_cache.json`.
 //!
 //! ```text
 //! cargo run --release --bin bench -- perf [--jobs N] [--out FILE]
+//!                                         [--cache-out FILE]
 //! ```
 //!
-//! The report has three sections:
+//! The `BENCH_qmdd.json` report has three sections:
 //!
 //! * `qmdd` — single-threaded miter verification of the largest Table 7
 //!   benchmark, once with garbage collection effectively disabled (the
@@ -17,13 +19,29 @@
 //! * `sweep` — the full Table 5 sweep (QMDD verification on) at `--jobs 1`
 //!   vs `--jobs N`, with the resulting speedup.
 //!
+//! `BENCH_cache.json` (schema `qsyn-bench-cache/1`) covers the layered
+//! compilation cache:
+//!
+//! * `compile` — a serial Table 5 sweep under `--cache mem`, cold (empty
+//!   compile cache) vs. warm (every job a hit), with the verdicts asserted
+//!   identical;
+//! * `layers` — per-layer hit/miss deltas over those two runs;
+//! * `routing` — per (device, objective), an all-connected-pairs CNOT
+//!   workload routed by the legacy per-gate search vs. the precomputed
+//!   routing table, outputs asserted byte-identical.
+//!
 //! See `docs/PERFORMANCE.md` for how to read the numbers.
 
-use qsyn_arch::devices;
+use qsyn_arch::{devices, Device};
 use qsyn_bench::big::BIG_BENCHMARKS;
-use qsyn_bench::par::jobs_from_args;
-use qsyn_bench::report::run_table5_jobs;
-use qsyn_core::{Compiler, Verification};
+use qsyn_bench::par::{flag_value, jobs_from_args};
+use qsyn_bench::report::{run_table5_jobs, run_table5_sweep, Cell, SweepConfig, Table5Row};
+use qsyn_circuit::Circuit;
+use qsyn_core::{
+    cache, route_circuit_bounded_uncached, route_circuit_bounded_via, routing_table, CacheMode,
+    Compiler, RoutingObjective, Verification,
+};
+use qsyn_gate::Gate;
 use qsyn_qmdd::{equivalent_miter_with_gc_threshold, EquivReport};
 use qsyn_trace::json::Value;
 use qsyn_trace::{Pass, TableSink};
@@ -87,6 +105,157 @@ fn qmdd_section() -> Value {
     ])
 }
 
+/// Times one full pass of the all-connected-pairs CNOT workload through a
+/// routing strategy, repeated `reps` times; returns (seconds, last output).
+const ROUTE_REPS: usize = 20;
+
+/// A CNOT for every ordered qubit pair — the densest routing workload a
+/// device supports, exercising every table entry.
+fn all_pairs_cnots(d: &Device) -> Circuit {
+    let n = d.n_qubits();
+    let mut c = Circuit::new(n);
+    for control in 0..n {
+        for target in 0..n {
+            if control != target {
+                c.push(Gate::cx(control, target));
+            }
+        }
+    }
+    c
+}
+
+/// Collapses a sweep cell to its verdict-relevant content (everything but
+/// the wall time), so cold and warm runs can be asserted identical.
+fn cell_fingerprint(c: &Cell) -> String {
+    match c {
+        Cell::Mapped(m) => format!(
+            "mapped {:?} {:?} {:.6} {} {}",
+            m.unopt, m.opt, m.pct_decrease, m.verified, m.unverified
+        ),
+        Cell::NotApplicable => "n/a".to_string(),
+        Cell::Failed(msg) => format!("failed {msg}"),
+    }
+}
+
+fn rows_fingerprint(rows: &[Table5Row]) -> Vec<String> {
+    rows.iter()
+        .flat_map(|r| r.cells.iter().map(cell_fingerprint))
+        .collect()
+}
+
+fn routing_section() -> Value {
+    let mut entries = Vec::new();
+    for d in devices::ibm_devices() {
+        let workload = all_pairs_cnots(&d);
+        for objective in [RoutingObjective::FewestSwaps, RoutingObjective::HighestFidelity] {
+            // Steady-state comparison: the table is built once per
+            // process, so fetch it before the clock starts.
+            let (table, _) = routing_table(&d, objective);
+
+            let t = Instant::now();
+            let mut legacy = None;
+            for _ in 0..ROUTE_REPS {
+                legacy = Some(
+                    route_circuit_bounded_uncached(&workload, &d, objective, None)
+                        .expect("ibm devices are connected"),
+                );
+            }
+            let legacy_s = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let mut tabled = None;
+            for _ in 0..ROUTE_REPS {
+                tabled = Some(
+                    route_circuit_bounded_via(&workload, &d, &table, None)
+                        .expect("ibm devices are connected"),
+                );
+            }
+            let table_s = t.elapsed().as_secs_f64();
+
+            let (legacy_c, legacy_k) = legacy.expect("reps >= 1");
+            let (table_c, table_k) = tabled.expect("reps >= 1");
+            assert_eq!(
+                legacy_c.gates(),
+                table_c.gates(),
+                "table routing must be byte-identical to the legacy search \
+                 ({} {objective:?})",
+                d.name()
+            );
+            assert_eq!(legacy_k.swaps_inserted, table_k.swaps_inserted);
+            entries.push(obj(vec![
+                ("device", Value::Str(d.name().to_string())),
+                (
+                    "objective",
+                    Value::Str(format!("{objective:?}").to_lowercase()),
+                ),
+                ("cnots", Value::Num(workload.len() as f64)),
+                ("reps", Value::Num(ROUTE_REPS as f64)),
+                ("legacy_seconds", Value::Num(legacy_s)),
+                ("table_seconds", Value::Num(table_s)),
+                ("speedup", Value::Num(legacy_s / table_s)),
+                ("identical", Value::Bool(true)),
+            ]));
+        }
+    }
+    Value::Arr(entries)
+}
+
+fn cache_perf(cache_out: &str) {
+    eprintln!("bench perf: routing table vs legacy per-gate search...");
+    let routing = routing_section();
+
+    eprintln!("bench perf: cold vs warm Table 5 sweep (--cache mem)...");
+    let cfg = SweepConfig {
+        verify: true,
+        jobs: 1,
+        cache: CacheMode::Mem,
+        ..SweepConfig::default()
+    };
+    let before = cache::stats();
+    let t = Instant::now();
+    let cold_rows = run_table5_sweep(&cfg);
+    let cold_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm_rows = run_table5_sweep(&cfg);
+    let warm_s = t.elapsed().as_secs_f64();
+    let delta = cache::stats().since(&before);
+    assert_eq!(
+        rows_fingerprint(&cold_rows),
+        rows_fingerprint(&warm_rows),
+        "a warm compile cache must reproduce the cold run's verdicts"
+    );
+
+    let compile = obj(vec![
+        ("cold_seconds", Value::Num(cold_s)),
+        ("warm_seconds", Value::Num(warm_s)),
+        ("speedup", Value::Num(cold_s / warm_s)),
+        ("outputs_identical", Value::Bool(true)),
+    ]);
+    let layers = obj(vec![
+        ("routing_builds", Value::Num(delta.routing_tables_built as f64)),
+        ("routing_hits", Value::Num(delta.routing_table_hits as f64)),
+        ("decompose_hits", Value::Num(delta.decompose_memo_hits as f64)),
+        ("decompose_misses", Value::Num(delta.decompose_memo_misses as f64)),
+        ("decompose_hit_rate", Value::Num(delta.decompose_hit_rate())),
+        ("compile_hits", Value::Num(delta.compile_hits as f64)),
+        ("compile_misses", Value::Num(delta.compile_misses as f64)),
+        ("compile_hit_rate", Value::Num(delta.compile_hit_rate())),
+    ]);
+    let report = obj(vec![
+        ("schema", Value::Str("qsyn-bench-cache/1".to_string())),
+        ("compile", compile),
+        ("layers", layers),
+        ("routing", routing),
+    ]);
+    let text = format!("{report}\n");
+    if let Err(e) = std::fs::write(cache_out, &text) {
+        eprintln!("error: {cache_out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{text}");
+    eprintln!("bench perf: wrote {cache_out}");
+}
+
 fn perf(jobs: usize, out: &str) {
     eprintln!("bench perf: QMDD section (largest Table 7 benchmark)...");
     let qmdd = qmdd_section();
@@ -142,19 +311,21 @@ fn main() {
         eprintln!("error: --jobs requires a positive integer");
         std::process::exit(2);
     };
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix("--out=").map(str::to_string))
-        })
+    let out = flag_value(&args, "--out")
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
         .unwrap_or_else(|| "BENCH_qmdd.json".to_string());
+    let cache_out = flag_value(&args, "--cache-out")
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| "BENCH_cache.json".to_string());
     match args.first().map(String::as_str) {
-        Some("perf") => perf(jobs, &out),
+        Some("perf") => {
+            perf(jobs, &out);
+            cache_perf(&cache_out);
+        }
         _ => {
-            eprintln!("usage: bench perf [--jobs N] [--out FILE]");
+            eprintln!("usage: bench perf [--jobs N] [--out FILE] [--cache-out FILE]");
             std::process::exit(2);
         }
     }

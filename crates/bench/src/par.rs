@@ -72,7 +72,10 @@ where
     if jobs <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let workers = jobs.min(items.len());
+    // Compilation jobs are CPU-bound, so threads beyond the available
+    // cores only add stacks and context switches: an oversized `--jobs`
+    // is clamped to the machine rather than honored literally.
+    let workers = jobs.min(items.len()).min(default_jobs());
     let cursor = AtomicUsize::new(0);
     // One mutex per slot: a worker only ever locks the slot it claimed, so
     // there is no contention — the mutex is just the portable way to write
@@ -166,6 +169,15 @@ mod tests {
     #[test]
     fn default_jobs_is_at_least_one() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn oversized_jobs_still_complete_every_item() {
+        // An absurd --jobs value must not spawn an absurd thread count;
+        // the pool clamps to the machine and still fills every slot.
+        let items: Vec<usize> = (0..50).collect();
+        let out = par_map(&items, 100_000, |_, &x| x + 1);
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::revlib::{RevlibBenchmark, REVLIB_BENCHMARKS};
 use crate::stg::{StgFunction, STG_FUNCTIONS};
 use qsyn_arch::{devices, CostModel, Device, TransmonCost};
 use qsyn_circuit::Circuit;
-use qsyn_core::{CompileBudget, CompileError, Compiler, FaultSpec, Verification};
+use qsyn_core::{CacheMode, CompileBudget, CompileError, Compiler, FaultSpec, Verification};
 use qsyn_trace::TraceSink;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -90,6 +90,9 @@ pub struct SweepConfig {
     pub jobs: usize,
     /// Resource budget applied to every job's compiler.
     pub budget: CompileBudget,
+    /// Caching layers for every job's compiler (default
+    /// [`CacheMode::Tables`]; see `docs/PERFORMANCE.md`).
+    pub cache: CacheMode,
     /// Deliberate fault injected into job 0 only; the remaining jobs
     /// demonstrate isolation by completing normally.
     pub inject: Option<FaultSpec>,
@@ -102,6 +105,7 @@ impl std::fmt::Debug for SweepConfig {
             .field("traced", &self.trace.is_some())
             .field("jobs", &self.jobs)
             .field("budget", &self.budget)
+            .field("cache", &self.cache)
             .field("inject", &self.inject)
             .finish()
     }
@@ -149,11 +153,17 @@ impl SweepConfig {
             Some(v) => Some(FaultSpec::parse(v).map_err(|e| format!("--inject-fault: {e}"))?),
             None => None,
         };
+        let cache = match flag_value(args, "--cache") {
+            Some(v) => CacheMode::parse(v)
+                .ok_or_else(|| format!("--cache requires off, tables or mem, got `{v}`"))?,
+            None => CacheMode::default(),
+        };
         Ok(SweepConfig {
             verify: !args.iter().any(|a| a == "--no-verify"),
             trace: None,
             jobs,
             budget,
+            cache,
             inject,
         })
     }
@@ -223,7 +233,8 @@ pub fn map_benchmark_cell(
         } else {
             Verification::None
         })
-        .with_budget(cfg.budget);
+        .with_budget(cfg.budget)
+        .with_cache(cfg.cache);
     if let Some(sink) = cfg.trace.clone() {
         compiler = compiler.with_trace(sink);
     }

@@ -1,0 +1,245 @@
+//! Canonical 128-bit structural hashing of circuits.
+//!
+//! The compile cache keys on *content*: two circuits with the same register
+//! width and the same gate list hash identically regardless of their names,
+//! while any structural difference — an extra gate, a swapped operand, a
+//! different operator — changes the digest. The hash is a hand-rolled
+//! FNV-1a over a fixed byte encoding (no dependency, no platform
+//! variation), wide enough (128 bits) that accidental collisions are out
+//! of reach for any realistic workload.
+
+use crate::circuit::Circuit;
+use qsyn_gate::Gate;
+
+/// FNV-1a offset basis for the 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a prime for the 128-bit variant.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Incremental 128-bit FNV-1a hasher.
+///
+/// Used for circuit structural hashes, device fingerprints and compile
+/// cache keys; everything funnels through [`Fnv128::write`] so the digest
+/// depends only on the byte stream, never on container iteration order
+/// (callers feed sorted/deterministic views).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv128 {
+    /// Starts a fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feeds one byte (enum discriminants, small tags).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to 64 bits (stable across word sizes).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a `u128` in little-endian byte order (for chaining digests).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern (exact, no rounding).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a string as its length-prefixed UTF-8 bytes (length prefixing
+    /// keeps `("ab", "c")` distinct from `("a", "bc")`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The current 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Byte tags of the gate encoding fed to the hasher. Appending variants is
+/// fine; reordering would silently change every digest.
+fn write_gate(h: &mut Fnv128, gate: &Gate) {
+    match gate {
+        Gate::Single { op, qubit } => {
+            h.write_u8(0);
+            // SingleOp is Ord; its position in the fixed library table is a
+            // stable discriminant.
+            let op_idx = qsyn_gate::SINGLE_OPS
+                .iter()
+                .position(|o| o == op)
+                .expect("SINGLE_OPS lists every operator");
+            h.write_u8(op_idx as u8);
+            h.write_usize(*qubit);
+        }
+        Gate::Cx { control, target } => {
+            h.write_u8(1);
+            h.write_usize(*control);
+            h.write_usize(*target);
+        }
+        Gate::Cz { control, target } => {
+            h.write_u8(2);
+            h.write_usize(*control);
+            h.write_usize(*target);
+        }
+        Gate::Swap { a, b } => {
+            h.write_u8(3);
+            h.write_usize(*a);
+            h.write_usize(*b);
+        }
+        Gate::Mct { controls, target } => {
+            h.write_u8(4);
+            h.write_usize(controls.len());
+            for c in controls {
+                h.write_usize(*c);
+            }
+            h.write_usize(*target);
+        }
+    }
+}
+
+/// Canonical structural hash of a circuit: register width plus the ordered
+/// gate list. The circuit's *name* is deliberately excluded — it is
+/// presentation metadata, and content-addressed caches must treat a
+/// renamed copy as the same circuit.
+pub fn structural_hash(circuit: &Circuit) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_usize(circuit.n_qubits());
+    h.write_usize(circuit.len());
+    for g in circuit.gates() {
+        write_gate(&mut h, g);
+    }
+    h.finish()
+}
+
+impl Circuit {
+    /// Canonical 128-bit structural hash (see
+    /// [`structural_hash`](crate::structural_hash)): width + gate list,
+    /// name excluded.
+    pub fn structural_hash(&self) -> u128 {
+        structural_hash(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a 128 test vectors.
+        let digest = |s: &str| {
+            let mut h = Fnv128::new();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), FNV128_OFFSET);
+        assert_eq!(digest("a"), 0xd228cb696f1a8caf78912b704e4a8964);
+    }
+
+    #[test]
+    fn hash_ignores_the_name() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::toffoli(0, 1, 2));
+        let b = a.clone().with_name("renamed");
+        assert_eq!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_structure() {
+        let mut base = Circuit::new(3);
+        base.push(Gate::cx(0, 1));
+        let h0 = base.structural_hash();
+
+        // Extra gate.
+        let mut wider = base.clone();
+        wider.push(Gate::t(2));
+        assert_ne!(h0, wider.structural_hash());
+
+        // Swapped operands.
+        let mut flipped = Circuit::new(3);
+        flipped.push(Gate::cx(1, 0));
+        assert_ne!(h0, flipped.structural_hash());
+
+        // Different operator on the same line.
+        let mut cz = Circuit::new(3);
+        cz.push(Gate::cz(0, 1));
+        assert_ne!(h0, cz.structural_hash());
+
+        // Same gates, different register width.
+        let mut narrow = Circuit::new(2);
+        narrow.push(Gate::cx(0, 1));
+        assert_ne!(h0, narrow.structural_hash());
+    }
+
+    #[test]
+    fn gate_order_matters() {
+        let mut ab = Circuit::new(2);
+        ab.push(Gate::h(0));
+        ab.push(Gate::t(1));
+        let mut ba = Circuit::new(2);
+        ba.push(Gate::t(1));
+        ba.push(Gate::h(0));
+        assert_ne!(ab.structural_hash(), ba.structural_hash());
+    }
+
+    #[test]
+    fn single_op_discriminants_are_distinct() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for op in qsyn_gate::SINGLE_OPS {
+            let mut c = Circuit::new(1);
+            c.push(Gate::Single { op, qubit: 0 });
+            assert!(seen.insert(c.structural_hash()), "{op:?} collided");
+        }
+    }
+
+    #[test]
+    fn mct_control_list_is_length_prefixed() {
+        // Without the length prefix, controls [1,2] target 3 could collide
+        // with controls [1,2,3] target under a shifted read.
+        let mut a = Circuit::new(5);
+        a.push(Gate::mct(vec![0, 1], 2));
+        let mut b = Circuit::new(5);
+        b.push(Gate::mct(vec![0, 1, 2], 3));
+        assert_ne!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn empty_circuits_of_equal_width_agree() {
+        assert_eq!(
+            Circuit::new(4).structural_hash(),
+            Circuit::new(4).with_name("x").structural_hash()
+        );
+    }
+}

@@ -24,12 +24,14 @@
 mod circuit;
 mod draw;
 mod error;
+mod hash;
 mod qasm;
 mod qc;
 mod real;
 mod stats;
 
 pub use circuit::Circuit;
+pub use hash::{structural_hash, Fnv128};
 pub use draw::{draw, layers};
 pub use error::ParseCircuitError;
 pub use qasm::{parse_qasm, to_qasm};

@@ -1,0 +1,726 @@
+//! Layered, content-addressed compilation caching.
+//!
+//! Re-running the Fig. 2 pipeline over a benchmark sweep repeats an
+//! enormous amount of identical work: every CNOT reroute re-runs the same
+//! BFS/Dijkstra against the same handful of coupling maps, every wide
+//! Toffoli re-derives the same Barenco cascade, and a repeated
+//! (circuit, device, options) pair rebuilds the same QMDDs just to reach
+//! the same verdict. This module memoizes all three layers behind global,
+//! LRU-bounded registries keyed by *content* — structural hashes and
+//! device fingerprints — never by identity:
+//!
+//! 1. **[`RoutingTable`]** — per `(Device, RoutingObjective)`, the full
+//!    [`CtrRoute`] for every ordered qubit pair plus all-pairs hop-count
+//!    and negative-log-fidelity distance/next-hop matrices, built once by
+//!    running the *legacy* CTR search per pair, so table-driven routing is
+//!    byte-identical to per-gate search by construction.
+//! 2. **Decomposition memo** — Barenco MCT cascades are purely positional,
+//!    so one template per (arity, usable-spare-count, strategy) is
+//!    synthesized on canonical line indices and instantiated by qubit
+//!    substitution.
+//! 3. **Compile cache** — whole [`CompileResult`]s keyed by a 128-bit
+//!    structural hash of (circuit, device, cost model, budget, options);
+//!    a hit replays the recorded pass events with a `cache_hit` marker.
+//!
+//! Which layers are active is the compiler's [`CacheMode`]; per-layer
+//! hit/miss/insert/evict totals are process-global (see [`stats`]) and
+//! surface through `--cache-stats` and `bench perf`.
+
+use crate::decompose::DecomposeStrategy;
+use crate::error::CompileError;
+use crate::route::{ctr_route_with, CtrRoute, RoutingObjective};
+use crate::CompileResult;
+use qsyn_arch::Device;
+use qsyn_gate::Gate;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which caching layers a [`Compiler`](crate::Compiler) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// No caching at all: every pass recomputes from scratch (the legacy
+    /// per-gate searches; kept reachable for differential tests and
+    /// benchmarks).
+    Off,
+    /// The transparent layers only: shared routing tables and the
+    /// decomposition memo. Output is byte-identical to [`CacheMode::Off`],
+    /// so this is the default.
+    #[default]
+    Tables,
+    /// [`CacheMode::Tables`] plus the whole-compile memo: a repeated
+    /// (circuit, device, cost model, budget, options) tuple returns the
+    /// memoized [`CompileResult`] with `cache_hit` markers instead of
+    /// re-running the pipeline.
+    Mem,
+}
+
+impl CacheMode {
+    /// Parses the `--cache=MODE` CLI value.
+    pub fn parse(s: &str) -> Option<CacheMode> {
+        match s {
+            "off" => Some(CacheMode::Off),
+            "tables" => Some(CacheMode::Tables),
+            "mem" => Some(CacheMode::Mem),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase identifier (the `--cache` value that selects it).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheMode::Off => "off",
+            CacheMode::Tables => "tables",
+            CacheMode::Mem => "mem",
+        }
+    }
+}
+
+/// Registry bounds: devices seen concurrently in practice are the built-in
+/// library plus per-width simulators, and compile results are bounded so a
+/// long-running service cannot grow without limit (the PR-3 budget story).
+const ROUTING_TABLE_CAP: usize = 32;
+const MCT_TEMPLATE_CAP: usize = 256;
+const COMPILE_CACHE_CAP: usize = 64;
+
+// ---------------------------------------------------------------------------
+// A minimal LRU map. Eviction scans for the stalest stamp — O(len), which
+// is irrelevant at these capacities and keeps the structure dependency-free.
+// ---------------------------------------------------------------------------
+
+struct LruMap<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
+    fn new(cap: usize) -> Self {
+        assert!(cap > 0, "LRU capacity must be positive");
+        LruMap {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            v.clone()
+        })
+    }
+
+    /// Inserts, evicting the least-recently-used entry when full. Returns
+    /// the number of entries evicted (0 or 1).
+    fn insert(&mut self, key: K, value: V) -> u64 {
+        self.tick += 1;
+        let mut evicted = 0;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global cache statistics.
+// ---------------------------------------------------------------------------
+
+macro_rules! stat_counters {
+    ($($name:ident),* $(,)?) => {
+        $(static $name: AtomicU64 = AtomicU64::new(0);)*
+    };
+}
+
+stat_counters!(
+    ROUTING_BUILDS,
+    ROUTING_HITS,
+    ROUTING_EVICTIONS,
+    DECOMPOSE_HITS,
+    DECOMPOSE_MISSES,
+    DECOMPOSE_EVICTIONS,
+    COMPILE_HITS,
+    COMPILE_MISSES,
+    COMPILE_INSERTS,
+    COMPILE_EVICTIONS,
+);
+
+/// A point-in-time copy of the process-global per-layer cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Routing tables built from scratch (one legacy search per pair).
+    pub routing_tables_built: u64,
+    /// Routing-table registry hits (a table was reused).
+    pub routing_table_hits: u64,
+    /// Routing tables evicted by the LRU bound.
+    pub routing_table_evictions: u64,
+    /// MCT decomposition templates served from the memo.
+    pub decompose_memo_hits: u64,
+    /// MCT decomposition templates synthesized on a miss.
+    pub decompose_memo_misses: u64,
+    /// Templates evicted by the LRU bound.
+    pub decompose_memo_evictions: u64,
+    /// Whole-compile cache hits.
+    pub compile_hits: u64,
+    /// Whole-compile cache misses (lookups that ran the pipeline).
+    pub compile_misses: u64,
+    /// Compile results inserted after a miss.
+    pub compile_inserts: u64,
+    /// Compile results evicted by the LRU bound.
+    pub compile_evictions: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Counter deltas relative to an earlier snapshot (saturating, so a
+    /// mismatched pair never underflows).
+    pub fn since(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            routing_tables_built: self
+                .routing_tables_built
+                .saturating_sub(earlier.routing_tables_built),
+            routing_table_hits: self
+                .routing_table_hits
+                .saturating_sub(earlier.routing_table_hits),
+            routing_table_evictions: self
+                .routing_table_evictions
+                .saturating_sub(earlier.routing_table_evictions),
+            decompose_memo_hits: self
+                .decompose_memo_hits
+                .saturating_sub(earlier.decompose_memo_hits),
+            decompose_memo_misses: self
+                .decompose_memo_misses
+                .saturating_sub(earlier.decompose_memo_misses),
+            decompose_memo_evictions: self
+                .decompose_memo_evictions
+                .saturating_sub(earlier.decompose_memo_evictions),
+            compile_hits: self.compile_hits.saturating_sub(earlier.compile_hits),
+            compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
+            compile_inserts: self.compile_inserts.saturating_sub(earlier.compile_inserts),
+            compile_evictions: self
+                .compile_evictions
+                .saturating_sub(earlier.compile_evictions),
+        }
+    }
+
+    /// Hit rate of a (hits, misses) pair; 0 when nothing was looked up.
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Decomposition-memo hit rate in `[0, 1]`.
+    pub fn decompose_hit_rate(&self) -> f64 {
+        Self::rate(self.decompose_memo_hits, self.decompose_memo_misses)
+    }
+
+    /// Compile-cache hit rate in `[0, 1]`.
+    pub fn compile_hit_rate(&self) -> f64 {
+        Self::rate(self.compile_hits, self.compile_misses)
+    }
+
+    /// One-line-per-layer human-readable rendering (the `--cache-stats`
+    /// output).
+    pub fn render(&self) -> String {
+        format!(
+            "cache stats:\n  routing tables: {} built, {} reused, {} evicted\n  \
+             decompose memo: {} hits, {} misses ({:.0}% hit rate), {} evicted\n  \
+             compile cache : {} hits, {} misses ({:.0}% hit rate), {} inserted, {} evicted",
+            self.routing_tables_built,
+            self.routing_table_hits,
+            self.routing_table_evictions,
+            self.decompose_memo_hits,
+            self.decompose_memo_misses,
+            self.decompose_hit_rate() * 100.0,
+            self.decompose_memo_evictions,
+            self.compile_hits,
+            self.compile_misses,
+            self.compile_hit_rate() * 100.0,
+            self.compile_inserts,
+            self.compile_evictions,
+        )
+    }
+}
+
+/// Reads the process-global per-layer cache counters.
+pub fn stats() -> CacheStatsSnapshot {
+    let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    CacheStatsSnapshot {
+        routing_tables_built: read(&ROUTING_BUILDS),
+        routing_table_hits: read(&ROUTING_HITS),
+        routing_table_evictions: read(&ROUTING_EVICTIONS),
+        decompose_memo_hits: read(&DECOMPOSE_HITS),
+        decompose_memo_misses: read(&DECOMPOSE_MISSES),
+        decompose_memo_evictions: read(&DECOMPOSE_EVICTIONS),
+        compile_hits: read(&COMPILE_HITS),
+        compile_misses: read(&COMPILE_MISSES),
+        compile_inserts: read(&COMPILE_INSERTS),
+        compile_evictions: read(&COMPILE_EVICTIONS),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: per-device routing tables.
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "no next hop" in [`RoutingTable::next_hop`].
+const NO_HOP: usize = usize::MAX;
+
+/// Precomputed routing structure for one `(Device, RoutingObjective)` pair.
+///
+/// Holds the full [`CtrRoute`] (or the exact [`CompileError`] the legacy
+/// search would report) for every ordered `(control, target)` pair, plus
+/// the all-pairs distance and next-hop matrices in both metrics:
+/// undirected hop count, and the negative-log-fidelity SWAP metric the
+/// Dijkstra objective minimizes (uncharacterized couplings price at
+/// [`DEFAULT_CNOT_ERROR`](crate::route::DEFAULT_CNOT_ERROR)).
+///
+/// Because every per-pair answer is produced by the *same* search the
+/// per-gate router would run, routing through a table is byte-identical to
+/// the legacy path — a property the differential tests in
+/// `crates/core/tests/cache.rs` check gate-for-gate on every built-in
+/// device.
+pub struct RoutingTable {
+    n: usize,
+    objective: RoutingObjective,
+    routes: Vec<Result<CtrRoute, CompileError>>,
+    dist_hops: Vec<u32>,
+    dist_neglog: Vec<f64>,
+    next_hop: Vec<usize>,
+}
+
+impl RoutingTable {
+    /// Builds the table by running the legacy CTR search once per ordered
+    /// pair, plus one BFS and one Dijkstra per source for the distance /
+    /// next-hop matrices.
+    pub fn build(device: &Device, objective: RoutingObjective) -> RoutingTable {
+        let n = device.n_qubits();
+        let mut routes = Vec::with_capacity(n * n);
+        for control in 0..n {
+            for target in 0..n {
+                routes.push(ctr_route_with(device, control, target, objective));
+            }
+        }
+        let mut dist_hops = vec![u32::MAX; n * n];
+        let mut next_hop = vec![NO_HOP; n * n];
+        for src in 0..n {
+            // `distances_from` marks unreachable qubits with u32::MAX / 2;
+            // normalize to u32::MAX for an unambiguous sentinel.
+            let d = device.distances_from(src);
+            for (q, &dq) in d.iter().enumerate() {
+                dist_hops[src * n + q] = if dq >= u32::MAX / 2 { u32::MAX } else { dq };
+            }
+            // First step of a shortest path src -> q, exploring neighbors
+            // in ascending order (the BFS tie-break the CTR search uses).
+            for q in 0..n {
+                if q == src || d[q] >= u32::MAX / 2 {
+                    continue;
+                }
+                let mut cur = q;
+                while d[cur] > 1 {
+                    cur = *device
+                        .neighbors(cur)
+                        .iter()
+                        .find(|&&nb| d[nb] == d[cur] - 1)
+                        .expect("BFS distances admit a descending neighbor");
+                }
+                next_hop[src * n + q] = cur;
+            }
+        }
+        let dist_neglog = neglog_distances(device, n);
+        RoutingTable {
+            n,
+            objective,
+            routes,
+            dist_hops,
+            dist_neglog,
+            next_hop,
+        }
+    }
+
+    /// Register width the table was built for.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The objective the per-pair routes minimize.
+    pub fn objective(&self) -> RoutingObjective {
+        self.objective
+    }
+
+    /// The precomputed CTR route for an ordered pair — exactly what
+    /// [`ctr_route_with`] returns, including its error cases (degenerate
+    /// pair, disconnected map).
+    ///
+    /// # Errors
+    ///
+    /// The stored [`CompileError`] of the legacy search, cloned.
+    pub fn route(&self, control: usize, target: usize) -> Result<&CtrRoute, CompileError> {
+        match &self.routes[control * self.n + target] {
+            Ok(route) => Ok(route),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Undirected hop-count distance, or `None` when disconnected.
+    pub fn hop_distance(&self, a: usize, b: usize) -> Option<u32> {
+        match self.dist_hops[a * self.n + b] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Negative-log-fidelity SWAP-path distance, or `None` when
+    /// disconnected.
+    pub fn neglog_distance(&self, a: usize, b: usize) -> Option<f64> {
+        let d = self.dist_neglog[a * self.n + b];
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// First step of a shortest hop path `a -> b` (ascending-neighbor
+    /// tie-break), or `None` for `a == b` and disconnected pairs.
+    pub fn next_hop(&self, a: usize, b: usize) -> Option<usize> {
+        match self.next_hop[a * self.n + b] {
+            NO_HOP => None,
+            q => Some(q),
+        }
+    }
+}
+
+/// All-pairs negative-log-fidelity distances over the SWAP metric
+/// (Dijkstra per source; deterministic ascending-index tie-break).
+fn neglog_distances(device: &Device, n: usize) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut out = vec![f64::INFINITY; n * n];
+    for src in 0..n {
+        let dist = &mut out[src * n..(src + 1) * n];
+        dist[src] = 0.0;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let key = |d: f64, q: usize| ((d * 1e9) as u64, q);
+        heap.push(Reverse(key(0.0, src)));
+        let mut settled = vec![false; n];
+        while let Some(Reverse((_, q))) = heap.pop() {
+            if settled[q] {
+                continue;
+            }
+            settled[q] = true;
+            for &nb in device.neighbors(q) {
+                let nd = dist[q] + crate::route::swap_log_cost(device, q, nb);
+                if nd < dist[nb] {
+                    dist[nb] = nd;
+                    heap.push(Reverse(key(nd, nb)));
+                }
+            }
+        }
+    }
+    out
+}
+
+type RoutingKey = (u128, u8);
+
+static ROUTING_TABLES: OnceLock<Mutex<LruMap<RoutingKey, Arc<RoutingTable>>>> = OnceLock::new();
+
+fn objective_tag(objective: RoutingObjective) -> u8 {
+    match objective {
+        RoutingObjective::FewestSwaps => 0,
+        RoutingObjective::HighestFidelity => 1,
+    }
+}
+
+/// The shared routing table for a device and objective, building it on
+/// first use. Returns the table and whether it came from the registry
+/// (`true`) or was built by this call (`false`).
+pub fn routing_table(device: &Device, objective: RoutingObjective) -> (Arc<RoutingTable>, bool) {
+    let key = (device.fingerprint(), objective_tag(objective));
+    let registry = ROUTING_TABLES.get_or_init(|| Mutex::new(LruMap::new(ROUTING_TABLE_CAP)));
+    let mut map = registry.lock().expect("routing-table registry poisoned");
+    if let Some(table) = map.get(&key) {
+        ROUTING_HITS.fetch_add(1, Ordering::Relaxed);
+        return (table, true);
+    }
+    // Build under the lock: first-touch of a device pays the n^2 searches
+    // exactly once even when a parallel sweep races to it.
+    let table = Arc::new(RoutingTable::build(device, objective));
+    ROUTING_BUILDS.fetch_add(1, Ordering::Relaxed);
+    let evicted = map.insert(key, table.clone());
+    ROUTING_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    (table, false)
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: the decomposition memo.
+// ---------------------------------------------------------------------------
+
+type MctKey = (usize, usize, u8);
+
+static MCT_TEMPLATES: OnceLock<Mutex<LruMap<MctKey, Arc<Vec<Gate>>>>> = OnceLock::new();
+
+fn strategy_tag(strategy: DecomposeStrategy) -> u8 {
+    match strategy {
+        DecomposeStrategy::Exact => 0,
+        DecomposeStrategy::RelativePhase => 1,
+    }
+}
+
+/// The Barenco cascade for an `m`-control MCT with `spare_len` usable
+/// spare lines, synthesized on canonical indices (controls `0..m`, target
+/// `m`, spares `m+1..`): [`mct_decompose`](crate::decompose::mct_decompose)
+/// is purely positional, so the cascade depends only on this shape.
+/// Returns the template and whether it was served from the memo.
+///
+/// `spare_len` must already be clamped to the count the decomposition
+/// uses (`min(spare.len(), m - 2)` — the V-chain never borrows more).
+///
+/// # Errors
+///
+/// [`CompileError::NoAncilla`] when `spare_len` is zero and `m >= 3`
+/// (errors are not memoized; they are cheap to rediscover).
+pub fn mct_template(
+    m: usize,
+    spare_len: usize,
+    strategy: DecomposeStrategy,
+) -> Result<(Arc<Vec<Gate>>, bool), CompileError> {
+    let key = (m, spare_len, strategy_tag(strategy));
+    let registry = MCT_TEMPLATES.get_or_init(|| Mutex::new(LruMap::new(MCT_TEMPLATE_CAP)));
+    let mut map = registry.lock().expect("MCT template registry poisoned");
+    if let Some(template) = map.get(&key) {
+        DECOMPOSE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok((template, true));
+    }
+    let controls: Vec<usize> = (0..m).collect();
+    let spare: Vec<usize> = (m + 1..m + 1 + spare_len).collect();
+    let gates = crate::decompose::mct_decompose(&controls, m, &spare, strategy)?;
+    let template = Arc::new(gates);
+    DECOMPOSE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let evicted = map.insert(key, template.clone());
+    DECOMPOSE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    Ok((template, false))
+}
+
+/// Instantiates a canonical MCT template onto concrete lines: canonical
+/// index `i < controls.len()` maps to `controls[i]`, `controls.len()` to
+/// `target`, and higher indices to `spare` in order. `Gate` constructors
+/// re-normalize control order, so the result is identical to decomposing
+/// on the concrete lines directly.
+pub fn instantiate_mct_template(
+    template: &[Gate],
+    controls: &[usize],
+    target: usize,
+    spare: &[usize],
+) -> Vec<Gate> {
+    let m = controls.len();
+    let map = |q: usize| -> usize {
+        if q < m {
+            controls[q]
+        } else if q == m {
+            target
+        } else {
+            spare[q - m - 1]
+        }
+    };
+    template
+        .iter()
+        .map(|g| match g {
+            Gate::Single { op, qubit } => Gate::single(*op, map(*qubit)),
+            Gate::Cx { control, target } => Gate::cx(map(*control), map(*target)),
+            Gate::Cz { control, target } => Gate::cz(map(*control), map(*target)),
+            Gate::Swap { a, b } => Gate::swap(map(*a), map(*b)),
+            Gate::Mct { controls, target } => {
+                Gate::mct(controls.iter().map(|&c| map(c)).collect(), map(*target))
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: the whole-compile cache.
+// ---------------------------------------------------------------------------
+
+static COMPILE_CACHE: OnceLock<Mutex<LruMap<u128, Arc<CompileResult>>>> = OnceLock::new();
+
+fn compile_cache() -> &'static Mutex<LruMap<u128, Arc<CompileResult>>> {
+    COMPILE_CACHE.get_or_init(|| Mutex::new(LruMap::new(COMPILE_CACHE_CAP)))
+}
+
+/// Looks up a memoized compile by its 128-bit content key, recording a
+/// hit or miss in the global stats.
+pub(crate) fn compile_cache_get(key: u128) -> Option<Arc<CompileResult>> {
+    let mut map = compile_cache().lock().expect("compile cache poisoned");
+    match map.get(&key) {
+        Some(hit) => {
+            COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(hit)
+        }
+        None => {
+            COMPILE_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Memoizes a successful compile under its content key.
+pub(crate) fn compile_cache_insert(key: u128, result: Arc<CompileResult>) {
+    let mut map = compile_cache().lock().expect("compile cache poisoned");
+    COMPILE_INSERTS.fetch_add(1, Ordering::Relaxed);
+    let evicted = map.insert(key, result);
+    COMPILE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_arch::devices;
+
+    #[test]
+    fn cache_mode_parses_and_names_round_trip() {
+        for mode in [CacheMode::Off, CacheMode::Tables, CacheMode::Mem] {
+            assert_eq!(CacheMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(CacheMode::parse("disk"), None);
+        assert_eq!(CacheMode::default(), CacheMode::Tables);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let mut lru: LruMap<u8, u8> = LruMap::new(2);
+        assert_eq!(lru.insert(1, 10), 0);
+        assert_eq!(lru.insert(2, 20), 0);
+        assert_eq!(lru.get(&1), Some(10)); // refresh 1; 2 is now stalest
+        assert_eq!(lru.insert(3, 30), 1);
+        assert_eq!(lru.get(&2), None, "2 was evicted");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        // Overwriting an existing key never evicts.
+        assert_eq!(lru.insert(1, 11), 0);
+        assert_eq!(lru.get(&1), Some(11));
+    }
+
+    #[test]
+    fn routing_table_matches_the_legacy_search_per_pair() {
+        let d = devices::ibmqx4();
+        let table = RoutingTable::build(&d, RoutingObjective::FewestSwaps);
+        for c in 0..d.n_qubits() {
+            for t in 0..d.n_qubits() {
+                let legacy = ctr_route_with(&d, c, t, RoutingObjective::FewestSwaps);
+                match (table.route(c, t), legacy) {
+                    (Ok(a), Ok(b)) => assert_eq!(*a, b, "{c}->{t}"),
+                    (Err(a), Err(b)) => assert_eq!(a, b, "{c}->{t}"),
+                    (a, b) => panic!("{c}->{t}: table {a:?} vs legacy {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_table_distance_matrices_are_consistent() {
+        let d = devices::ibmqx3();
+        let table = RoutingTable::build(&d, RoutingObjective::FewestSwaps);
+        let n = d.n_qubits();
+        for a in 0..n {
+            assert_eq!(table.hop_distance(a, a), Some(0));
+            assert_eq!(table.next_hop(a, a), None);
+            assert_eq!(table.neglog_distance(a, a), Some(0.0));
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let hops = table.hop_distance(a, b).expect("ibmqx3 is connected");
+                assert_eq!(hops, d.distance(a, b).unwrap());
+                let step = table.next_hop(a, b).expect("connected pair has a hop");
+                assert!(d.are_adjacent(a, step), "{a}->{b} via {step}");
+                assert_eq!(table.hop_distance(step, b), Some(hops - 1));
+                assert!(table.neglog_distance(a, b).unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_have_no_distance() {
+        let d = Device::from_coupling_map("disc", 4, &[(0, &[1]), (2, &[3])]);
+        let table = RoutingTable::build(&d, RoutingObjective::FewestSwaps);
+        assert_eq!(table.hop_distance(0, 3), None);
+        assert_eq!(table.next_hop(0, 3), None);
+        assert_eq!(table.neglog_distance(0, 3), None);
+        assert_eq!(
+            table.route(0, 3).unwrap_err(),
+            CompileError::RouteNotFound {
+                control: 0,
+                target: 3
+            }
+        );
+    }
+
+    #[test]
+    fn routing_registry_shares_one_table_per_device_and_objective() {
+        let d = devices::ibmqx2();
+        let (a, _) = routing_table(&d, RoutingObjective::FewestSwaps);
+        let (b, reused) = routing_table(&d, RoutingObjective::FewestSwaps);
+        assert!(Arc::ptr_eq(&a, &b), "same device, same table");
+        assert!(reused, "second lookup is a registry hit");
+        let (c, _) = routing_table(&d, RoutingObjective::HighestFidelity);
+        assert!(!Arc::ptr_eq(&a, &c), "objectives get distinct tables");
+    }
+
+    #[test]
+    fn mct_template_instantiation_equals_direct_decomposition() {
+        // Scattered, unsorted operand layouts across both strategies and
+        // both the V-chain and the split (scarce-ancilla) branch.
+        let cases: [(&[usize], usize, &[usize]); 4] = [
+            (&[7, 2, 5], 0, &[4]),            // m=3, split path
+            (&[9, 1, 4, 6], 2, &[8, 0]),      // m=4, full V-chain
+            (&[3, 8, 0, 5, 1], 9, &[2]),      // m=5, scarce
+            (&[6, 0, 3, 9, 2], 4, &[8, 7, 1]) // m=5, full chain
+        ];
+        for strategy in [DecomposeStrategy::Exact, DecomposeStrategy::RelativePhase] {
+            for (controls, target, spare) in cases {
+                let m = controls.len();
+                let eff = spare.len().min(m - 2);
+                let direct =
+                    crate::decompose::mct_decompose(controls, target, &spare[..eff], strategy)
+                        .unwrap();
+                let (template, _) = mct_template(m, eff, strategy).unwrap();
+                let inst = instantiate_mct_template(&template, controls, target, &spare[..eff]);
+                assert_eq!(inst, direct, "{controls:?} -> {target} ({strategy:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn mct_template_memo_hits_on_repeat() {
+        // A deliberately unusual shape so parallel tests cannot have
+        // pre-populated the key.
+        let (_, hit_first) = mct_template(11, 2, DecomposeStrategy::Exact).unwrap();
+        assert!(!hit_first, "first synthesis is a miss");
+        let (_, hit_second) = mct_template(11, 2, DecomposeStrategy::Exact).unwrap();
+        assert!(hit_second, "repeat shape is served from the memo");
+    }
+
+    #[test]
+    fn mct_template_propagates_no_ancilla() {
+        assert_eq!(
+            mct_template(5, 0, DecomposeStrategy::Exact).unwrap_err(),
+            CompileError::NoAncilla { controls: 5 }
+        );
+    }
+}

@@ -14,12 +14,13 @@
 //! ```
 
 use crate::budget::{BudgetResource, CompileBudget, VerifyMode};
-use crate::decompose::{decompose_circuit_with, DecomposeStrategy};
+use crate::cache::CacheMode;
+use crate::decompose::{decompose_circuit_memo, decompose_circuit_with, DecomposeStrategy};
 use crate::error::CompileError;
 use crate::optimize::{optimize_bounded, OptimizeConfig, OptimizeCounters};
 use crate::place::{place, Placement, PlacementStrategy};
 use crate::remap::{route_circuit_persistent_traced, SwapStrategy};
-use crate::route::{route_circuit_bounded, RoutingObjective};
+use crate::route::{route_circuit_bounded_uncached, route_circuit_bounded_via, RoutingObjective};
 use qsyn_arch::{CostModel, Device, TransmonCost};
 use qsyn_circuit::{Circuit, CircuitStats};
 use qsyn_qmdd::{try_equivalent, try_equivalent_miter, EquivBudget, EquivBudgetError};
@@ -125,6 +126,7 @@ pub struct Compiler {
     verification: Verification,
     optimization: Optimization,
     budget: CompileBudget,
+    cache: CacheMode,
     trace: Option<Arc<dyn TraceSink>>,
     job: Option<u64>,
     #[cfg(feature = "fault-injection")]
@@ -139,6 +141,7 @@ impl std::fmt::Debug for Compiler {
             .field("placement", &self.placement)
             .field("verification", &self.verification)
             .field("optimize", &self.optimization)
+            .field("cache", &self.cache)
             .field("traced", &self.trace.is_some())
             .finish()
     }
@@ -159,6 +162,7 @@ impl Compiler {
             verification: Verification::Auto,
             optimization: Optimization::default_enabled(),
             budget: CompileBudget::default(),
+            cache: CacheMode::default(),
             trace: None,
             job: None,
             #[cfg(feature = "fault-injection")]
@@ -177,6 +181,22 @@ impl Compiler {
     /// The active resource budget.
     pub fn budget(&self) -> &CompileBudget {
         &self.budget
+    }
+
+    /// Selects the caching layers (see [`CacheMode`]): `Off` disables
+    /// everything and runs the legacy per-gate searches, `Tables` (the
+    /// default) uses the shared routing tables and decomposition memo —
+    /// both transparent, byte-identical accelerations — and `Mem` adds
+    /// whole-result compile memoization keyed by the structural hash of
+    /// `(circuit, device, cost model, options, budget)`.
+    pub fn with_cache(mut self, cache: CacheMode) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The active cache mode.
+    pub fn cache(&self) -> CacheMode {
+        self.cache
     }
 
     /// Arms a deliberate fault that fires at the start of one pass —
@@ -295,6 +315,18 @@ impl Compiler {
             });
         }
         let started = std::time::Instant::now();
+        // Whole-result memoization (Mem mode only). Armed fault injection
+        // bypasses the cache: injected failures must actually fire.
+        let cache_key = if self.cache == CacheMode::Mem && !self.fault_injection_armed() {
+            self.check_deadline(started, Pass::Place)?;
+            let key = self.compile_key(input);
+            if let Some(hit) = crate::cache::compile_cache_get(key) {
+                return Ok(self.replay_cached(&hit, started));
+            }
+            Some(key)
+        } else {
+            None
+        };
         let mut events: Vec<PassEvent> = Vec::new();
         let mut record = |mut e: PassEvent| {
             e.job = self.job;
@@ -322,43 +354,68 @@ impl Compiler {
         self.check_deadline(started, Pass::Decompose)?;
         self.maybe_inject(Pass::Decompose)?;
         let span = Span::begin(Pass::Decompose);
-        let decomposed = decompose_circuit_with(&placed, Some(&self.device), self.decompose)?;
+        let (decomposed, memo) = if self.cache == CacheMode::Off {
+            let c = decompose_circuit_with(&placed, Some(&self.device), self.decompose)?;
+            (c, None)
+        } else {
+            let (c, k) = decompose_circuit_memo(&placed, Some(&self.device), self.decompose)?;
+            (c, Some(k))
+        };
         let snap_decomposed = StageSnapshot::of(&decomposed);
-        record(self.finish(span, snap_placed, snap_decomposed, |_| {}));
+        record(self.finish(span, snap_placed, snap_decomposed, |s| {
+            if let Some(k) = memo {
+                s.counter("mct_memo_hits", k.memo_hits as f64);
+                s.counter("mct_memo_misses", k.memo_misses as f64);
+            }
+        }));
 
         // Routing against the coupling map.
         self.check_deadline(started, Pass::Route)?;
         self.maybe_inject(Pass::Route)?;
         let span = Span::begin(Pass::Route);
-        let (mut unoptimized, swaps_inserted, gates_rerouted, restoration) = match self.swaps {
-            SwapStrategy::ReturnControl => {
-                let (c, k) = route_circuit_bounded(
-                    &decomposed,
-                    &self.device,
-                    self.routing,
-                    self.budget.max_route_swaps,
-                )?;
-                (c, k.swaps_inserted, k.gates_rerouted, 0)
-            }
-            SwapStrategy::PersistentLayout => {
-                let (c, k) =
-                    route_circuit_persistent_traced(&decomposed, &self.device, self.routing)?;
-                // The persistent router computes the restoration network at
-                // the end, so the cap is enforced on the completed total.
-                if let Some(cap) = self.budget.max_route_swaps {
-                    let total = k.swaps_inserted + k.restoration_swaps;
-                    if total > cap {
-                        return Err(CompileError::BudgetExceeded {
-                            pass: Pass::Route,
-                            resource: BudgetResource::RouteSwaps,
-                            limit: cap as u64,
-                            used: total as u64,
-                        });
-                    }
+        let (mut unoptimized, swaps_inserted, gates_rerouted, restoration, table_reused) =
+            match self.swaps {
+                SwapStrategy::ReturnControl if self.cache == CacheMode::Off => {
+                    // Legacy path: a fresh BFS/Dijkstra per CNOT.
+                    let (c, k) = route_circuit_bounded_uncached(
+                        &decomposed,
+                        &self.device,
+                        self.routing,
+                        self.budget.max_route_swaps,
+                    )?;
+                    (c, k.swaps_inserted, k.gates_rerouted, 0, None)
                 }
-                (c, k.swaps_inserted, k.gates_rerouted, k.restoration_swaps)
-            }
-        };
+                SwapStrategy::ReturnControl => {
+                    // Precomputed all-pairs routing table, shared across
+                    // every compile targeting this (device, objective).
+                    let (table, reused) = crate::cache::routing_table(&self.device, self.routing);
+                    let (c, k) = route_circuit_bounded_via(
+                        &decomposed,
+                        &self.device,
+                        &table,
+                        self.budget.max_route_swaps,
+                    )?;
+                    (c, k.swaps_inserted, k.gates_rerouted, 0, Some(reused))
+                }
+                SwapStrategy::PersistentLayout => {
+                    let (c, k) =
+                        route_circuit_persistent_traced(&decomposed, &self.device, self.routing)?;
+                    // The persistent router computes the restoration network at
+                    // the end, so the cap is enforced on the completed total.
+                    if let Some(cap) = self.budget.max_route_swaps {
+                        let total = k.swaps_inserted + k.restoration_swaps;
+                        if total > cap {
+                            return Err(CompileError::BudgetExceeded {
+                                pass: Pass::Route,
+                                resource: BudgetResource::RouteSwaps,
+                                limit: cap as u64,
+                                used: total as u64,
+                            });
+                        }
+                    }
+                    (c, k.swaps_inserted, k.gates_rerouted, k.restoration_swaps, None)
+                }
+            };
         unoptimized.set_name(format!("{base_name}@{}", self.device.name()));
         let snap_routed = StageSnapshot::of(&unoptimized);
         record(self.finish(span, snap_decomposed, snap_routed, |s| {
@@ -366,6 +423,9 @@ impl Compiler {
             s.counter("gates_rerouted", gates_rerouted as f64);
             if self.swaps == SwapStrategy::PersistentLayout {
                 s.counter("restoration_swaps", restoration as f64);
+            }
+            if let Some(reused) = table_reused {
+                s.counter("routing_table_reused", f64::from(u8::from(reused)));
             }
         }));
 
@@ -421,6 +481,7 @@ impl Compiler {
             verified,
             verdict,
             total_seconds: started.elapsed().as_secs_f64(),
+            cache_hit: false,
         };
         if let Some(sink) = &self.trace {
             sink.flush();
@@ -429,14 +490,69 @@ impl Compiler {
             return Err(CompileError::VerificationFailed);
         }
 
-        Ok(CompileResult {
+        let result = CompileResult {
             placement,
             placed,
             unoptimized,
             optimized,
             verified,
             metrics,
-        })
+        };
+        if let Some(key) = cache_key {
+            crate::cache::compile_cache_insert(key, Arc::new(result.clone()));
+        }
+        Ok(result)
+    }
+
+    /// Structural key of one compile request: every input the pipeline's
+    /// output depends on. Two requests with equal keys are guaranteed to
+    /// produce identical results, so the memoized result can be replayed.
+    fn compile_key(&self, input: &Circuit) -> u128 {
+        let mut h = qsyn_circuit::Fnv128::new();
+        h.write_u128(input.structural_hash());
+        h.write_u128(self.device.fingerprint());
+        h.write_str(self.cost.name());
+        // Option enums all have stable, value-complete Debug forms.
+        h.write_str(&format!("{:?}", self.placement));
+        h.write_str(&format!("{:?}", self.routing));
+        h.write_str(&format!("{:?}", self.swaps));
+        h.write_str(&format!("{:?}", self.decompose));
+        h.write_str(&format!("{:?}", self.verification));
+        h.write_str(&format!("{:?}", self.optimization));
+        h.write_str(&format!("{:?}", self.budget));
+        h.finish()
+    }
+
+    /// Replays a compile-cache hit: clones the memoized result, restamps
+    /// the per-pass events for this compiler's job, marks every event with
+    /// a `cache_hit` counter, and re-emits the stream to the trace sink so
+    /// cached compiles stay fully observable.
+    fn replay_cached(&self, cached: &CompileResult, started: std::time::Instant) -> CompileResult {
+        let mut result = cached.clone();
+        for e in &mut result.metrics.events {
+            e.job = self.job;
+            e.counters.push(("cache_hit".to_string(), 1.0));
+            if let Some(sink) = &self.trace {
+                sink.record(e);
+            }
+        }
+        result.metrics.cache_hit = true;
+        result.metrics.total_seconds = started.elapsed().as_secs_f64();
+        if let Some(sink) = &self.trace {
+            sink.flush();
+        }
+        result
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn fault_injection_armed(&self) -> bool {
+        self.inject.is_some()
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline]
+    fn fault_injection_armed(&self) -> bool {
+        false
     }
 
     /// Prices the in/out snapshots under the active cost model, attaches
@@ -1106,6 +1222,74 @@ mod tests {
                 .any(|g| matches!(g, Gate::Cx { .. })),
             "no CNOT on a CZ device"
         );
+    }
+
+    #[test]
+    fn cache_modes_produce_identical_circuits() {
+        // Tables (the default) must be a transparent acceleration: same
+        // bytes out as the legacy per-gate searches.
+        let mut spec = Circuit::new(5).with_name("cache-modes");
+        spec.push(Gate::mct(vec![0, 1, 2], 4));
+        spec.push(Gate::cx(0, 4));
+        for d in devices::ibm_devices() {
+            let off = Compiler::new(d.clone())
+                .with_cache(CacheMode::Off)
+                .compile(&spec)
+                .unwrap();
+            let tables = Compiler::new(d.clone()).compile(&spec).unwrap();
+            assert_eq!(off.optimized.gates(), tables.optimized.gates(), "{}", d.name());
+            assert_eq!(off.unoptimized.gates(), tables.unoptimized.gates(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn compile_cache_replays_identical_results() {
+        // A circuit shape unique to this test, so the shared global cache
+        // cannot be pre-populated by another test in this process.
+        let mut spec = Circuit::new(5).with_name("memoized");
+        spec.push(Gate::h(3));
+        spec.push(Gate::toffoli(2, 3, 0));
+        spec.push(Gate::cx(0, 1));
+        spec.push(Gate::tdg(4));
+        let compiler = Compiler::new(devices::ibmqx5()).with_cache(CacheMode::Mem);
+        let cold = compiler.compile(&spec).unwrap();
+        assert!(!cold.metrics().cache_hit);
+        let warm = compiler.compile(&spec).unwrap();
+        assert!(warm.metrics().cache_hit);
+        assert_eq!(cold.optimized, warm.optimized);
+        assert_eq!(cold.unoptimized, warm.unoptimized);
+        assert_eq!(cold.placed, warm.placed);
+        assert_eq!(cold.verified, warm.verified);
+        assert_eq!(cold.metrics().verdict, warm.metrics().verdict);
+        // Every replayed event carries the cache-hit marker; fresh ones
+        // don't.
+        assert!(warm
+            .metrics()
+            .events
+            .iter()
+            .all(|e| e.counter("cache_hit") == Some(1.0)));
+        assert!(cold
+            .metrics()
+            .events
+            .iter()
+            .all(|e| e.counter("cache_hit").is_none()));
+    }
+
+    #[test]
+    fn compile_cache_replays_through_the_trace_sink() {
+        let mut spec = Circuit::new(4).with_name("traced-replay");
+        spec.push(Gate::toffoli(1, 3, 2));
+        spec.push(Gate::t(0));
+        let sink = Arc::new(qsyn_trace::TableSink::new());
+        let compiler = Compiler::new(devices::ibmqx4())
+            .with_cache(CacheMode::Mem)
+            .with_trace(sink.clone())
+            .with_job_id(3);
+        let _ = compiler.compile(&spec).unwrap();
+        let warm = compiler.compile(&spec).unwrap();
+        // Both runs streamed their events (fresh + replayed).
+        assert_eq!(sink.events().len(), 2 * warm.metrics().events.len());
+        assert!(sink.events().iter().all(|e| e.job == Some(3)));
     }
 
     #[test]

@@ -290,12 +290,65 @@ pub fn decompose_circuit_with(
     device: Option<&Device>,
     strategy: DecomposeStrategy,
 ) -> Result<Circuit, CompileError> {
+    decompose_circuit_impl(circuit, device, strategy, false).map(|(c, _)| c)
+}
+
+/// What the decomposition memo did while lowering a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecomposeCounters {
+    /// Wide-MCT cascades instantiated from a memoized template.
+    pub memo_hits: usize,
+    /// Wide-MCT cascades synthesized from scratch (and memoized).
+    pub memo_misses: usize,
+}
+
+/// [`decompose_circuit_with`] through the canonical-shape decomposition
+/// memo: each wide MCT's Barenco cascade is synthesized once per
+/// `(arity, spare-count, strategy)` shape and instantiated here by qubit
+/// substitution. Output is byte-identical to the unmemoized path (the
+/// substitution rebuilds gates through the same normalizing constructors,
+/// and Clifford+T expansion runs *after* substitution).
+///
+/// # Errors
+///
+/// Returns [`CompileError::NoAncilla`] if a generalized Toffoli has no
+/// spare line to borrow.
+pub fn decompose_circuit_memo(
+    circuit: &Circuit,
+    device: Option<&Device>,
+    strategy: DecomposeStrategy,
+) -> Result<(Circuit, DecomposeCounters), CompileError> {
+    decompose_circuit_impl(circuit, device, strategy, true)
+}
+
+/// Shared lowering loop; `use_memo` selects template instantiation vs.
+/// direct synthesis for wide MCT gates.
+fn decompose_circuit_impl(
+    circuit: &Circuit,
+    device: Option<&Device>,
+    strategy: DecomposeStrategy,
+    use_memo: bool,
+) -> Result<(Circuit, DecomposeCounters), CompileError> {
     let n = circuit.n_qubits();
     let mut out = Circuit::new(n);
     if let Some(name) = circuit.name() {
         out.set_name(name.to_string());
     }
+    let mut counters = DecomposeCounters::default();
     let cz_native = device.is_some_and(|d| d.native() == qsyn_arch::TwoQubitNative::Cz);
+    // Expands the Toffoli cascade of one wide MCT into `out` — shared by
+    // the memoized and direct paths so they stay gate-for-gate identical.
+    let emit_cascade = |out: &mut Circuit, cascade: Vec<Gate>| {
+        for tof in cascade {
+            match tof {
+                Gate::Mct {
+                    controls: tc,
+                    target: tt,
+                } => out.extend(toffoli_clifford_t(tc[0], tc[1], tt)),
+                other => out.push(other),
+            }
+        }
+    };
     for g in circuit.gates() {
         match g {
             Gate::Single { .. } | Gate::Cx { .. } => out.push(g.clone()),
@@ -315,20 +368,31 @@ pub fn decompose_circuit_with(
                         let dist = d.distances_from_set(&g.qubits());
                         spare.sort_by_key(|&q| (dist[q], q));
                     }
-                    for tof in mct_decompose(controls, *target, &spare, strategy)? {
-                        match tof {
-                            Gate::Mct {
-                                controls: tc,
-                                target: tt,
-                            } => out.extend(toffoli_clifford_t(tc[0], tc[1], tt)),
-                            other => out.push(other),
+                    if use_memo {
+                        let m = controls.len();
+                        let eff = spare.len().min(m - 2);
+                        let (template, hit) = crate::cache::mct_template(m, eff, strategy)?;
+                        if hit {
+                            counters.memo_hits += 1;
+                        } else {
+                            counters.memo_misses += 1;
                         }
+                        let cascade = crate::cache::instantiate_mct_template(
+                            &template,
+                            controls,
+                            *target,
+                            &spare[..eff],
+                        );
+                        emit_cascade(&mut out, cascade);
+                    } else {
+                        let cascade = mct_decompose(controls, *target, &spare, strategy)?;
+                        emit_cascade(&mut out, cascade);
                     }
                 }
             }
         }
     }
-    Ok(out)
+    Ok((out, counters))
 }
 
 
@@ -548,6 +612,41 @@ mod tests {
         // Scarce ancillas force the split path with RP leaves.
         check_mct_rp(&[0, 1, 2, 3], 4, &[5], 6);
         check_mct_rp(&[0, 1, 2, 3, 4], 5, &[6], 7);
+    }
+
+    #[test]
+    fn memoized_decomposition_is_byte_identical() {
+        // A circuit mixing every gate class the lowering loop handles,
+        // including wide MCTs on scattered lines that exercise both the
+        // plentiful-ancilla chain and the scarce-ancilla split.
+        let mut c = Circuit::new(8);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::cz(3, 4));
+        c.push(Gate::swap(5, 6));
+        c.push(Gate::mct(vec![0, 2, 4], 6));
+        c.push(Gate::mct(vec![1, 3, 5, 7], 0));
+        c.push(Gate::mct(vec![0, 1, 2, 3, 4, 5], 7)); // scarce: 1 spare
+        c.push(Gate::mct(vec![0, 2, 4], 6)); // repeat → memo hit
+        let device = qsyn_arch::devices::ibmq_16();
+        for strategy in [DecomposeStrategy::Exact, DecomposeStrategy::RelativePhase] {
+            for dev in [None, Some(&device)] {
+                let direct = decompose_circuit_with(&c, dev, strategy).unwrap();
+                let (memo, counters) = decompose_circuit_memo(&c, dev, strategy).unwrap();
+                assert_eq!(direct.gates(), memo.gates(), "strategy {strategy:?}");
+                assert_eq!(counters.memo_hits + counters.memo_misses, 4);
+                assert!(counters.memo_hits >= 1, "repeat shape must hit the memo");
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_decomposition_propagates_no_ancilla() {
+        // Every line is a control or the target: nothing to borrow.
+        let mut c = Circuit::new(4);
+        c.push(Gate::mct(vec![0, 1, 2], 3));
+        let err = decompose_circuit_memo(&c, None, DecomposeStrategy::Exact).unwrap_err();
+        assert!(matches!(err, CompileError::NoAncilla { controls: 3 }));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod cache;
 mod compiler;
 pub mod decompose;
 mod error;
@@ -47,6 +48,7 @@ pub mod route;
 pub mod sk;
 
 pub use budget::{BudgetResource, CompileBudget, VerifyMode};
+pub use cache::{routing_table, CacheMode, CacheStatsSnapshot, RoutingTable};
 #[cfg(feature = "fault-injection")]
 pub use budget::{FaultKind, FaultSpec};
 pub use compiler::{CompileResult, Compiler, Optimization, Verification};
@@ -66,6 +68,6 @@ pub use remap::{
 pub use sk::{approximate_rz, approximate_rz_to_accuracy, approximate_unitary, SkApproximation};
 pub use route::{
     ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, route_circuit_bounded,
-    route_circuit_traced, route_circuit_with, CtrRoute, RouteCounters, RoutingObjective,
-    DEFAULT_CNOT_ERROR,
+    route_circuit_bounded_uncached, route_circuit_bounded_via, route_circuit_traced,
+    route_circuit_with, CtrRoute, RouteCounters, RoutingObjective, DEFAULT_CNOT_ERROR,
 };

@@ -61,7 +61,7 @@ pub const DEFAULT_CNOT_ERROR: f64 = 2.5e-2;
 /// Negative log-fidelity of one CNOT leg over a native coupling, including
 /// a small surcharge for the four Hadamards when only the reverse
 /// orientation exists.
-fn cnot_log_cost(device: &Device, control: usize, target: usize) -> f64 {
+pub(crate) fn cnot_log_cost(device: &Device, control: usize, target: usize) -> f64 {
     const H_SURCHARGE: f64 = 4e-3; // four one-qubit gates at ~1e-3 each
     if device.has_coupling(control, target) {
         let e = device.cnot_error(control, target).unwrap_or(DEFAULT_CNOT_ERROR);
@@ -74,7 +74,7 @@ fn cnot_log_cost(device: &Device, control: usize, target: usize) -> f64 {
 
 /// Negative log-fidelity of a full SWAP between adjacent qubits (its three
 /// CNOT legs in the orientation [`emit_adjacent_swap`] chooses).
-fn swap_log_cost(device: &Device, a: usize, b: usize) -> f64 {
+pub(crate) fn swap_log_cost(device: &Device, a: usize, b: usize) -> f64 {
     let (x, y) = if device.has_coupling(a, b) { (a, b) } else { (b, a) };
     cnot_log_cost(device, x, y) * 2.0 + cnot_log_cost(device, y, x)
 }
@@ -455,6 +455,63 @@ pub fn route_circuit_bounded(
     objective: RoutingObjective,
     max_swaps: Option<usize>,
 ) -> Result<(Circuit, RouteCounters), CompileError> {
+    let (table, _) = crate::cache::routing_table(device, objective);
+    route_circuit_bounded_via(circuit, device, &table, max_swaps)
+}
+
+/// [`route_circuit_bounded`] running the legacy per-gate CTR search instead
+/// of a shared [`RoutingTable`](crate::cache::RoutingTable).
+///
+/// The table path is byte-identical to this one (the table stores exactly
+/// what these searches return); this entry point exists so differential
+/// tests and benchmarks can compare the two directly, and for
+/// [`CacheMode::Off`](crate::cache::CacheMode::Off).
+///
+/// # Errors
+///
+/// See [`route_circuit_bounded`].
+pub fn route_circuit_bounded_uncached(
+    circuit: &Circuit,
+    device: &Device,
+    objective: RoutingObjective,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
+    route_circuit_bounded_impl(circuit, device, max_swaps, |control, target| {
+        ctr_route_with(device, control, target, objective)
+    })
+}
+
+/// [`route_circuit_bounded`] against an explicit precomputed
+/// [`RoutingTable`](crate::cache::RoutingTable) (the compiler fetches the
+/// shared table once per compile and passes it here).
+///
+/// # Errors
+///
+/// See [`route_circuit_bounded`].
+pub fn route_circuit_bounded_via(
+    circuit: &Circuit,
+    device: &Device,
+    table: &crate::cache::RoutingTable,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
+    debug_assert_eq!(table.n_qubits(), device.n_qubits(), "table/device mismatch");
+    route_circuit_bounded_impl(circuit, device, max_swaps, |control, target| {
+        table.route(control, target)
+    })
+}
+
+/// The shared routing loop; `route_for` yields the CTR route per two-qubit
+/// gate, either borrowed from a table or freshly searched.
+fn route_circuit_bounded_impl<R, F>(
+    circuit: &Circuit,
+    device: &Device,
+    max_swaps: Option<usize>,
+    mut route_for: F,
+) -> Result<(Circuit, RouteCounters), CompileError>
+where
+    R: std::borrow::Borrow<CtrRoute>,
+    F: FnMut(usize, usize) -> Result<R, CompileError>,
+{
     let mut out = Circuit::new(device.n_qubits());
     if let Some(name) = circuit.name() {
         out.set_name(name.to_string());
@@ -475,18 +532,18 @@ pub fn route_circuit_bounded(
         match g {
             Gate::Single { .. } => out.push(g.clone()),
             Gate::Cx { control, target } => {
-                let route = ctr_route_with(device, *control, *target, objective)?;
-                counters.record(&route);
+                let route = route_for(*control, *target)?;
+                counters.record(route.borrow());
                 check_cap(&counters)?;
-                emit_cnot_via(device, &route, *target, &mut out)?;
+                emit_cnot_via(device, route.borrow(), *target, &mut out)?;
             }
             Gate::Cz { control, target }
                 if device.native() == qsyn_arch::TwoQubitNative::Cz =>
             {
-                let route = ctr_route_with(device, *control, *target, objective)?;
-                counters.record(&route);
+                let route = route_for(*control, *target)?;
+                counters.record(route.borrow());
                 check_cap(&counters)?;
-                emit_cz_via(device, &route, *target, &mut out)?;
+                emit_cz_via(device, route.borrow(), *target, &mut out)?;
             }
             other => return Err(CompileError::UnmappedGate(other.to_string())),
         }

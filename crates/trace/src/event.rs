@@ -389,6 +389,9 @@ pub struct CompileMetrics {
     pub verdict: Verdict,
     /// Total wall-clock seconds across all passes.
     pub total_seconds: f64,
+    /// Whether this record was replayed from the compile cache rather
+    /// than produced by running the pipeline.
+    pub cache_hit: bool,
 }
 
 impl CompileMetrics {
@@ -484,6 +487,7 @@ impl CompileMetrics {
             ),
             ("verdict".into(), self.verdict.to_json()),
             ("total_seconds".into(), Value::Num(self.total_seconds)),
+            ("cache_hit".into(), Value::Bool(self.cache_hit)),
             (
                 "events".into(),
                 Value::Arr(self.events.iter().map(PassEvent::to_json).collect()),
@@ -508,6 +512,11 @@ impl CompileMetrics {
                 None => Verdict::from_legacy(verified),
             },
             total_seconds: v.get("total_seconds")?.as_f64()?,
+            // Absent in pre-cache traces: those were always fresh runs.
+            cache_hit: v
+                .get("cache_hit")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
             events: v
                 .get("events")?
                 .as_arr()?
@@ -608,6 +617,7 @@ mod tests {
                 method: "canonical".into(),
             },
             total_seconds: 0.25,
+            cache_hit: false,
         };
         m.events[0].pass = Pass::Optimize;
         let parsed = CompileMetrics::parse(&m.to_json().to_string()).unwrap();
@@ -628,6 +638,7 @@ mod tests {
                 method: "canonical".into(),
             },
             total_seconds: 0.0,
+            cache_hit: false,
         };
         let t = m.render_table();
         assert!(t.contains("specification"));
@@ -658,6 +669,7 @@ mod tests {
                 verified: verdict.as_verified(),
                 verdict: verdict.clone(),
                 total_seconds: 0.0,
+            cache_hit: false,
             };
             let parsed = CompileMetrics::parse(&m.to_json().to_string()).unwrap();
             assert_eq!(parsed.verdict, verdict);
@@ -677,6 +689,7 @@ mod tests {
                 method: "canonical".into(),
             },
             total_seconds: 0.0,
+            cache_hit: false,
         };
         // Simulate a pre-ladder trace by dropping the verdict key.
         let text = m.to_json().to_string();
@@ -716,6 +729,7 @@ mod tests {
                 reason: "node budget exhausted".into(),
             },
             total_seconds: 0.0,
+            cache_hit: false,
         };
         let t = m.render_table();
         assert!(t.contains("UNVERIFIED"), "{t}");

@@ -29,6 +29,7 @@ USAGE:
                [--no-verify] [--placement identity|greedy|annealed] [--report]
                [--cost eqn2|volume|fidelity] [--trace[=FILE]]
                [--deadline SECONDS] [--node-budget NODES] [--strict-verify]
+               [--cache off|tables|mem] [--cache-stats] [--repeat N]
       Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
       --report prints a stage-by-stage metrics table on stderr.
       --trace streams one JSON line per compiler pass (wall time, gate/T/
@@ -39,6 +40,13 @@ USAGE:
       the default degraded verification mode an over-budget equivalence
       check walks a retry ladder and reports `unverified` instead of
       failing; --strict-verify makes it a hard error (docs/ROBUSTNESS.md).
+      --cache selects the caching layers (docs/PERFORMANCE.md): `tables`
+      (default) precomputes routing tables and memoizes MCT cascades —
+      byte-identical output, just faster; `mem` adds whole-compile
+      memoization; `off` runs the legacy per-gate searches. --cache-stats
+      prints per-layer hit/miss totals on stderr. --repeat N compiles the
+      same input N times in one process (exercising the caches) and fails
+      if any two runs diverge.
 
   qsyn check <a> <b> [--miter] [--ancilla 2,3]
       QMDD formal equivalence check of two circuit files; --miter uses the
@@ -185,8 +193,8 @@ fn cmd_devices() -> ExitCode {
 fn cmd_compile(args: &[String]) -> ExitCode {
     let (pos, flags) = parse_or_exit!(
         args,
-        &["no-opt", "no-verify", "report", "trace", "strict-verify"],
-        &["device", "out", "placement", "cost", "deadline", "node-budget"]
+        &["no-opt", "no-verify", "report", "trace", "strict-verify", "cache-stats"],
+        &["device", "out", "placement", "cost", "deadline", "node-budget", "cache", "repeat"]
     );
     let [input] = pos.as_slice() else { usage() };
     let Some(device_name) = flag(&flags, "device") else {
@@ -259,6 +267,26 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         budget = budget.with_verify_mode(VerifyMode::Strict);
     }
     compiler = compiler.with_budget(budget);
+    match flag(&flags, "cache") {
+        None => {}
+        Some(spec) => match CacheMode::parse(spec) {
+            Some(mode) => compiler = compiler.with_cache(mode),
+            None => {
+                eprintln!("error: bad --cache `{spec}` (want off, tables or mem)");
+                return ExitCode::from(2);
+            }
+        },
+    }
+    let repeat = match flag(&flags, "repeat") {
+        None => 1usize,
+        Some(spec) => match spec.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: bad --repeat `{spec}` (want a run count >= 1)");
+                return ExitCode::from(2);
+            }
+        },
+    };
     match flag(&flags, "trace") {
         None => {}
         Some("") => {
@@ -273,42 +301,63 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         },
     }
 
-    match compiler.compile(&circuit) {
-        Ok(r) => {
-            let qasm = r.optimized.to_qasm().expect("mapped output is QASM-ready");
-            if flag(&flags, "report").is_some() {
-                eprintln!("{}", r.metrics().render_table());
-            }
-            eprintln!(
-                "mapped {:?} -> {}: {} (cost {:.2} -> {:.2}, -{:.1}%), verified = {:?}, {:.3}s",
-                circuit.name().unwrap_or(input),
-                device_name,
-                r.optimized.stats(),
-                eqn2.circuit_cost(&r.unoptimized),
-                eqn2.circuit_cost(&r.optimized),
-                r.percent_cost_decrease(&eqn2),
-                r.verified,
-                r.metrics().total_seconds,
-            );
-            if let Verdict::Unverified { reason } = r.verdict() {
-                eprintln!("warning: equivalence not established: {reason}");
-            }
-            match flag(&flags, "out") {
-                Some(path) => {
-                    if let Err(e) = std::fs::write(path, qasm) {
-                        eprintln!("error: {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-                None => print!("{qasm}"),
-            }
-            ExitCode::SUCCESS
+    // --repeat runs the whole compile N times in one process; sweep-style
+    // job ids keep the interleaved trace events attributable per run.
+    let mut results: Vec<CompileResult> = Vec::with_capacity(repeat);
+    for run in 0..repeat {
+        if repeat > 1 {
+            compiler = compiler.with_job_id(run as u64);
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+        match compiler.compile(&circuit) {
+            Ok(r) => {
+                eprintln!(
+                    "mapped {:?} -> {}: {} (cost {:.2} -> {:.2}, -{:.1}%), verified = {:?}, {:.3}s{}",
+                    circuit.name().unwrap_or(input),
+                    device_name,
+                    r.optimized.stats(),
+                    eqn2.circuit_cost(&r.unoptimized),
+                    eqn2.circuit_cost(&r.optimized),
+                    r.percent_cost_decrease(&eqn2),
+                    r.verified,
+                    r.metrics().total_seconds,
+                    if r.metrics().cache_hit { ", cache hit" } else { "" },
+                );
+                if let Verdict::Unverified { reason } = r.verdict() {
+                    eprintln!("warning: equivalence not established: {reason}");
+                }
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    let r = results.last().expect("repeat >= 1");
+    if results
+        .iter()
+        .any(|other| other.optimized != r.optimized || other.verified != r.verified)
+    {
+        eprintln!("error: --repeat runs produced diverging outputs");
+        return ExitCode::FAILURE;
+    }
+    if flag(&flags, "report").is_some() {
+        eprintln!("{}", r.metrics().render_table());
+    }
+    if flag(&flags, "cache-stats").is_some() {
+        eprintln!("{}", qsyn::core::cache::stats().render());
+    }
+    let qasm = r.optimized.to_qasm().expect("mapped output is QASM-ready");
+    match flag(&flags, "out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, qasm) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{qasm}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -489,20 +538,41 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
             None => {} // legacy event: predates the degradation ladder
         }
     }
+    // Compile-cache replays stamp every event with `cache_hit = 1`; the
+    // marker is boolean by construction, so anything else is corruption.
+    let mut cache_hits = 0usize;
+    for (k, e) in events.iter().enumerate() {
+        match e.counter("cache_hit") {
+            Some(1.0) => cache_hits += 1,
+            Some(0.0) | None => {}
+            Some(v) => {
+                eprintln!(
+                    "error: {input}: event {}: `cache_hit` counter must be 0 or 1, got {v}",
+                    k + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let ladder = if degraded + unverified > 0 {
         format!(" ({degraded} degraded, {unverified} unverified)")
     } else {
         String::new()
     };
+    let cached = if cache_hits > 0 {
+        format!(", {cache_hits} cache-hit events")
+    } else {
+        String::new()
+    };
     if jobs.is_empty() {
         eprintln!(
-            "{}: {} well-formed pass events{ladder}",
+            "{}: {} well-formed pass events{ladder}{cached}",
             input,
             events.len()
         );
     } else {
         eprintln!(
-            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 order{ladder}",
+            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 order{ladder}{cached}",
             input,
             events.len(),
             jobs.len()

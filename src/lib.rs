@@ -61,9 +61,9 @@ pub mod prelude {
     };
     pub use qsyn_circuit::{Circuit, CircuitStats};
     pub use qsyn_core::{
-        BudgetResource, CompileBudget, CompileError, CompileResult, Compiler, DecomposeStrategy,
-        Optimization, OptimizeConfig, PlacementStrategy, RoutingObjective, SwapStrategy,
-        Verification, VerifyMode,
+        BudgetResource, CacheMode, CacheStatsSnapshot, CompileBudget, CompileError, CompileResult,
+        Compiler, DecomposeStrategy, Optimization, OptimizeConfig, PlacementStrategy,
+        RoutingObjective, SwapStrategy, Verification, VerifyMode,
     };
     pub use qsyn_esop::{
         cascade_from_esop, parse_pla, synthesize_multi_output, synthesize_single_target, Cube,

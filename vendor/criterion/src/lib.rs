@@ -1,0 +1,243 @@
+//! Minimal vendored stand-in for the `criterion` crate, covering the API
+//! this workspace's benches use: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`, [`BenchmarkId`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to the crates registry, so the
+//! workspace vendors this implementation by path. Semantics match what CI
+//! relies on: positional command-line arguments are substring filters over
+//! `group/id` names, `--test` runs each selected benchmark exactly once
+//! (smoke mode), and normal mode reports a mean wall-clock time per
+//! iteration on stdout. There are no statistical refinements and no
+//! persisted baselines.
+
+use std::time::{Duration, Instant};
+
+/// Harness entry point: parses CLI filters and drives benchmark groups.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Cargo and criterion pass-through flags we accept and
+                // ignore (benches must not crash under `cargo bench`).
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion { filters, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    fn selected(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+/// A named benchmark identifier (`group/id` in output and filters).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark closure under `group/id`.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.into(), &mut f);
+    }
+
+    /// Runs a benchmark closure with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.0, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{id}", self.name);
+        if !self.criterion.selected(&full_id) {
+            return;
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                samples: 1,
+                total: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            println!("Testing {full_id} ... ok");
+            return;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        println!(
+            "{full_id:<48} time: {:>12} ({} iterations)",
+            format_duration(per_iter),
+            b.iters
+        );
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `sample_size` times (once in `--test`
+    /// mode) and recording the total.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warmup to populate caches/lazy statics.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += self.samples;
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// [`std::hint::black_box`] for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_filters_compose() {
+        let c = Criterion {
+            filters: vec!["gc_sweep".into()],
+            test_mode: true,
+        };
+        assert!(c.selected("qmdd_gc_sweep/off"));
+        assert!(!c.selected("qmdd_equivalence/8"));
+        let all = Criterion {
+            filters: vec![],
+            test_mode: false,
+        };
+        assert!(all.selected("anything/at_all"));
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion {
+            filters: vec![],
+            test_mode: false,
+        };
+        let mut ran = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.finish();
+        }
+        // 3 timed + 1 warmup.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn durations_render_in_sane_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Minimal vendored stand-in for the `proptest` crate, covering the API
+//! this workspace uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter`, integer-range and tuple strategies,
+//! [`collection::vec`], `prop_oneof!`, and the `proptest!` macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build environment has no access to the crates registry, so the
+//! workspace vendors this implementation by path. Differences from
+//! upstream: inputs are sampled from a fixed-seed RNG (runs are fully
+//! deterministic), and there is no shrinking — a failing case panics with
+//! the assertion message directly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! Test-case configuration and error plumbing.
+
+    /// Runner configuration (`cases` = accepted samples per property).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` accepted samples.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` / a filter; it does not
+        /// count toward the case budget.
+        Reject(String),
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection (skip this sample).
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        /// A failure (falsified property).
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of random values; `sample` returns `None` when a filter
+    /// rejects the draw (the runner resamples).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or `None` on a filtered-out sample.
+        fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`; `reason` is reported when
+        /// too many draws are rejected.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                _reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> Option<V> {
+            (**self).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        _reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.inner.sample(rng).filter(&self.pred)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn sample(&self, _rng: &mut StdRng) -> Option<V> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A uniform union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> Option<V> {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$v:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    let ($($v,)+) = self;
+                    Some(($($v.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!(
+        (A/a)
+        (A/a, B/b)
+        (A/a, B/b, C/c)
+        (A/a, B/b, C/c, D/d)
+        (A/a, B/b, C/c, D/d, E/e)
+        (A/a, B/b, C/c, D/d, E/e, F/f)
+    );
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A `Vec` of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Drives one property: samples until `cases` accepted runs complete,
+/// resampling on filter misses and `prop_assume!` rejections (bounded),
+/// panicking on the first failed case. Called by the `proptest!` macro.
+pub fn run_property<V>(
+    name: &str,
+    config: &test_runner::Config,
+    strategy: &dyn strategy::Strategy<Value = V>,
+    mut case: impl FnMut(V) -> Result<(), test_runner::TestCaseError>,
+) {
+    // Fixed seed mixed with the property name: deterministic, but distinct
+    // properties draw distinct streams.
+    let mut seed = 0xc0ff_ee00_5eed_1234u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let budget = u64::from(config.cases) * 50 + 1000;
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= budget,
+            "{name}: too many rejected samples ({accepted}/{} accepted after {attempts} draws)",
+            config.cases
+        );
+        let Some(value) = strategy.sample(&mut rng) else {
+            continue; // filter miss: resample
+        };
+        match case(value) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => continue,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' falsified: {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs. An optional
+/// leading `#![proptest_config(expr)]` sets the case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test fn per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                &strategy,
+                |value| {
+                    let ($($pat,)+) = value;
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds (optionally with a message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}: {}", a, b, format!($($fmt)+));
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}: {}", a, b, format!($($fmt)+));
+    }};
+}
+
+/// Rejects the current case (resampled, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        proptest! {
+            #[allow(unused)]
+            fn always_small(x in 0u32..100) {
+                prop_assert!(x < 5, "x={x}");
+            }
+        }
+        always_small();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds((a, b) in (0usize..7, 3u32..9)) {
+            prop_assert!(a < 7);
+            prop_assert!((3..9).contains(&b));
+        }
+
+        #[test]
+        fn filters_and_assume_reject_cases(
+            (a, b) in (0usize..10, 0usize..10).prop_filter("distinct", |(a, b)| a != b),
+        ) {
+            prop_assume!(a + b > 0);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(
+            v in crate::collection::vec(
+                prop_oneof![(0u32..4).prop_map(|x| x * 2), (10u32..12).boxed()],
+                1..6,
+            ),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for x in v {
+                prop_assert!(x % 2 == 0 || (10..12).contains(&x), "{x}");
+            }
+        }
+    }
+}
