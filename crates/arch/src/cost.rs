@@ -30,6 +30,19 @@ pub trait CostModel {
     fn delta(&self, before: &CircuitStats, after: &CircuitStats) -> f64 {
         self.cost(before) - self.cost(after)
     }
+
+    /// Every tunable parameter that changes this model's pricing without
+    /// changing [`name`](CostModel::name). Compile-cache keys fold these in
+    /// alongside the name, so two same-named models with different weights
+    /// never collide on one cache entry.
+    ///
+    /// The default returns `None`, which marks the model as not
+    /// content-addressable and disables whole-compile memoization for
+    /// compilers using it — the safe choice for user-defined models whose
+    /// parameters this trait cannot see.
+    fn cache_params(&self) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// The paper's Eqn. 2: `q_cost = t_weight * t + cnot_weight * c + a`.
@@ -83,6 +96,10 @@ impl CostModel for TransmonCost {
     fn name(&self) -> &str {
         "transmon-eqn2"
     }
+
+    fn cache_params(&self) -> Option<Vec<f64>> {
+        Some(vec![self.t_weight, self.cnot_weight])
+    }
 }
 
 /// Pure gate-volume cost (every gate costs one); the simplest baseline used
@@ -97,6 +114,10 @@ impl CostModel for VolumeCost {
 
     fn name(&self) -> &str {
         "volume"
+    }
+
+    fn cache_params(&self) -> Option<Vec<f64>> {
+        Some(Vec::new())
     }
 }
 
@@ -138,6 +159,10 @@ impl CostModel for FidelityCost {
 
     fn name(&self) -> &str {
         "fidelity"
+    }
+
+    fn cache_params(&self) -> Option<Vec<f64>> {
+        Some(vec![self.single_error, self.cnot_error, self.t_error])
     }
 }
 

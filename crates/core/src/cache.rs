@@ -439,7 +439,14 @@ fn neglog_distances(device: &Device, n: usize) -> Vec<f64> {
 
 type RoutingKey = (u128, u8);
 
-static ROUTING_TABLES: OnceLock<Mutex<LruMap<RoutingKey, Arc<RoutingTable>>>> = OnceLock::new();
+/// The registry maps keys to per-key build cells rather than finished
+/// tables: the mutex only guards the (cheap) map operations, while the
+/// O(n²)-search build runs inside the cell's own `OnceLock`, so the
+/// first-touch build of one device never blocks workers that need a
+/// different device's table.
+type RoutingCell = Arc<OnceLock<Arc<RoutingTable>>>;
+
+static ROUTING_TABLES: OnceLock<Mutex<LruMap<RoutingKey, RoutingCell>>> = OnceLock::new();
 
 fn objective_tag(objective: RoutingObjective) -> u8 {
     match objective {
@@ -454,18 +461,33 @@ fn objective_tag(objective: RoutingObjective) -> u8 {
 pub fn routing_table(device: &Device, objective: RoutingObjective) -> (Arc<RoutingTable>, bool) {
     let key = (device.fingerprint(), objective_tag(objective));
     let registry = ROUTING_TABLES.get_or_init(|| Mutex::new(LruMap::new(ROUTING_TABLE_CAP)));
-    let mut map = registry.lock().expect("routing-table registry poisoned");
-    if let Some(table) = map.get(&key) {
+    let cell = {
+        let mut map = registry.lock().expect("routing-table registry poisoned");
+        match map.get(&key) {
+            Some(cell) => cell,
+            None => {
+                let cell: RoutingCell = Arc::new(OnceLock::new());
+                let evicted = map.insert(key, cell.clone());
+                ROUTING_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+                cell
+            }
+        }
+    };
+    // Same-key racers block on this cell until the winner finishes; other
+    // keys are untouched. An evicted cell stays alive for builders still
+    // holding its Arc.
+    let mut built = false;
+    let table = cell
+        .get_or_init(|| {
+            built = true;
+            ROUTING_BUILDS.fetch_add(1, Ordering::Relaxed);
+            Arc::new(RoutingTable::build(device, objective))
+        })
+        .clone();
+    if !built {
         ROUTING_HITS.fetch_add(1, Ordering::Relaxed);
-        return (table, true);
     }
-    // Build under the lock: first-touch of a device pays the n^2 searches
-    // exactly once even when a parallel sweep races to it.
-    let table = Arc::new(RoutingTable::build(device, objective));
-    ROUTING_BUILDS.fetch_add(1, Ordering::Relaxed);
-    let evicted = map.insert(key, table.clone());
-    ROUTING_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
-    (table, false)
+    (table, !built)
 }
 
 // ---------------------------------------------------------------------------

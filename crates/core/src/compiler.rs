@@ -320,10 +320,12 @@ impl Compiler {
         let cache_key = if self.cache == CacheMode::Mem && !self.fault_injection_armed() {
             self.check_deadline(started, Pass::Place)?;
             let key = self.compile_key(input);
-            if let Some(hit) = crate::cache::compile_cache_get(key) {
-                return Ok(self.replay_cached(&hit, started));
+            if let Some(key) = key {
+                if let Some(hit) = crate::cache::compile_cache_get(key) {
+                    return Ok(self.replay_cached(&hit, started));
+                }
             }
-            Some(key)
+            key
         } else {
             None
         };
@@ -498,8 +500,13 @@ impl Compiler {
             verified,
             metrics,
         };
+        // Unverified verdicts are transient — a deadline expired mid-verify
+        // or a degraded budget, both of which a fresh run may not repeat —
+        // so, like errors, they are never memoized.
         if let Some(key) = cache_key {
-            crate::cache::compile_cache_insert(key, Arc::new(result.clone()));
+            if !result.metrics.verdict.is_unverified() {
+                crate::cache::compile_cache_insert(key, Arc::new(result.clone()));
+            }
         }
         Ok(result)
     }
@@ -507,11 +514,21 @@ impl Compiler {
     /// Structural key of one compile request: every input the pipeline's
     /// output depends on. Two requests with equal keys are guaranteed to
     /// produce identical results, so the memoized result can be replayed.
-    fn compile_key(&self, input: &Circuit) -> u128 {
+    ///
+    /// `None` when the cost model is not content-addressable
+    /// ([`CostModel::cache_params`] returns `None`): its name alone cannot
+    /// distinguish it from a same-named model with different pricing, so
+    /// memoization is skipped rather than risking a key collision.
+    fn compile_key(&self, input: &Circuit) -> Option<u128> {
+        let params = self.cost.cache_params()?;
         let mut h = qsyn_circuit::Fnv128::new();
         h.write_u128(input.structural_hash());
         h.write_u128(self.device.fingerprint());
         h.write_str(self.cost.name());
+        h.write_usize(params.len());
+        for p in params {
+            h.write_f64(p);
+        }
         // Option enums all have stable, value-complete Debug forms.
         h.write_str(&format!("{:?}", self.placement));
         h.write_str(&format!("{:?}", self.routing));
@@ -520,7 +537,7 @@ impl Compiler {
         h.write_str(&format!("{:?}", self.verification));
         h.write_str(&format!("{:?}", self.optimization));
         h.write_str(&format!("{:?}", self.budget));
-        h.finish()
+        Some(h.finish())
     }
 
     /// Replays a compile-cache hit: clones the memoized result, restamps

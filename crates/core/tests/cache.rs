@@ -6,8 +6,8 @@
 //! sequence on the same device would otherwise see each other's entries.
 
 use proptest::prelude::*;
-use qsyn_arch::{devices, Device, VolumeCost};
-use qsyn_circuit::Circuit;
+use qsyn_arch::{devices, CostModel, Device, TransmonCost, VolumeCost};
+use qsyn_circuit::{Circuit, CircuitStats};
 use qsyn_core::{
     route_circuit_bounded, route_circuit_bounded_uncached, CacheMode, CompileBudget, CompileError,
     CompileResult, Compiler, RoutingObjective,
@@ -97,6 +97,83 @@ fn every_config_knob_invalidates_the_key() {
 
     // The baseline entry survived all of the above.
     assert!(base.compile(&c).unwrap().metrics().cache_hit);
+}
+
+#[test]
+fn same_named_cost_model_with_different_weights_misses() {
+    // Both models report name() == "transmon-eqn2"; only the weights
+    // differ, so only CostModel::cache_params separates the keys.
+    let mut c = Circuit::new(4);
+    c.push(Gate::h(1));
+    c.push(Gate::toffoli(1, 3, 0));
+    c.push(Gate::t(2));
+    c.push(Gate::cx(0, 2));
+
+    let default_weights = mem_compiler(devices::ibmqx4(), |c| c);
+    assert!(!default_weights.compile(&c).unwrap().metrics().cache_hit);
+    assert!(default_weights.compile(&c).unwrap().metrics().cache_hit);
+
+    let heavy_cnots = mem_compiler(devices::ibmqx4(), |c| {
+        c.with_cost_model(Box::new(TransmonCost::new(0.5, 9.0)))
+    });
+    let r = heavy_cnots.compile(&c).unwrap();
+    assert!(
+        !r.metrics().cache_hit,
+        "same-named model with different weights must miss"
+    );
+    assert!(heavy_cnots.compile(&c).unwrap().metrics().cache_hit);
+    assert!(default_weights.compile(&c).unwrap().metrics().cache_hit);
+}
+
+#[test]
+fn opaque_cost_model_bypasses_the_mem_cache() {
+    // A user-defined model keeps the default cache_params() == None: its
+    // parameters are invisible to the key, so memoization must not engage
+    // at all rather than collide on the name.
+    struct Opaque;
+    impl CostModel for Opaque {
+        fn cost(&self, s: &CircuitStats) -> f64 {
+            s.volume as f64
+        }
+        fn name(&self) -> &str {
+            "opaque"
+        }
+    }
+
+    let mut c = Circuit::new(4);
+    c.push(Gate::x(0));
+    c.push(Gate::toffoli(0, 2, 3));
+    c.push(Gate::tdg(1));
+
+    let compiler = mem_compiler(devices::ibmqx4(), |c| c.with_cost_model(Box::new(Opaque)));
+    assert!(!compiler.compile(&c).unwrap().metrics().cache_hit);
+    assert!(
+        !compiler.compile(&c).unwrap().metrics().cache_hit,
+        "opaque cost model must never be served from the compile cache"
+    );
+}
+
+#[test]
+fn unverified_verdicts_are_not_memoized() {
+    // A node budget too small for any ladder rung degrades the verdict to
+    // Unverified — a transient outcome that must be recomputed, never
+    // replayed from the cache.
+    let mut c = Circuit::new(4);
+    c.push(Gate::h(3));
+    c.push(Gate::toffoli(3, 0, 1));
+    c.push(Gate::cx(1, 2));
+
+    let compiler = mem_compiler(devices::ibmqx4(), |c| {
+        c.with_budget(CompileBudget::default().with_node_budget(2))
+    });
+    let first = compiler.compile(&c).unwrap();
+    assert!(first.verdict().is_unverified(), "{:?}", first.verdict());
+    let second = compiler.compile(&c).unwrap();
+    assert!(
+        !second.metrics().cache_hit,
+        "an unverified result must not be replayed from the cache"
+    );
+    assert!(second.verdict().is_unverified());
 }
 
 #[test]
