@@ -7,6 +7,28 @@
 
 use qsyn_circuit::{Circuit, CircuitStats};
 
+/// What a cost model cares about when the router picks a strategy on its
+/// behalf (the `auto` routing strategy in `qsyn-core`).
+///
+/// This is a *hint*, not a command: a cost model describes which resource
+/// dominates its pricing, and the router maps that onto whichever concrete
+/// strategy serves it best. Custom models that do not override
+/// [`CostModel::route_hint`] report [`RouteHint::Conservative`], which keeps
+/// the paper's baseline CTR router — the safe choice when the model's
+/// pricing is opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteHint {
+    /// Gate volume / SWAP count dominates: prefer the router that inserts
+    /// the fewest SWAPs.
+    Swaps,
+    /// End-to-end fidelity dominates: prefer the router that minimizes
+    /// accumulated two-qubit error.
+    Fidelity,
+    /// Unknown pricing: keep the baseline (paper-exact) router.
+    #[default]
+    Conservative,
+}
+
 /// A quantum cost function over circuit statistics.
 ///
 /// Implementations must be monotone in each count (removing gates never
@@ -42,6 +64,14 @@ pub trait CostModel {
     /// parameters this trait cannot see.
     fn cache_params(&self) -> Option<Vec<f64>> {
         None
+    }
+
+    /// Which routing resource this model's pricing is dominated by, used
+    /// by the `auto` routing strategy in `qsyn-core` to pick a router on
+    /// the model's behalf. Defaults to [`RouteHint::Conservative`] (keep
+    /// the paper's CTR baseline), the safe answer for user-defined models.
+    fn route_hint(&self) -> RouteHint {
+        RouteHint::Conservative
     }
 }
 
@@ -100,6 +130,10 @@ impl CostModel for TransmonCost {
     fn cache_params(&self) -> Option<Vec<f64>> {
         Some(vec![self.t_weight, self.cnot_weight])
     }
+
+    fn route_hint(&self) -> RouteHint {
+        RouteHint::Swaps
+    }
 }
 
 /// Pure gate-volume cost (every gate costs one); the simplest baseline used
@@ -118,6 +152,10 @@ impl CostModel for VolumeCost {
 
     fn cache_params(&self) -> Option<Vec<f64>> {
         Some(Vec::new())
+    }
+
+    fn route_hint(&self) -> RouteHint {
+        RouteHint::Swaps
     }
 }
 
@@ -163,6 +201,10 @@ impl CostModel for FidelityCost {
 
     fn cache_params(&self) -> Option<Vec<f64>> {
         Some(vec![self.single_error, self.cnot_error, self.t_error])
+    }
+
+    fn route_hint(&self) -> RouteHint {
+        RouteHint::Fidelity
     }
 }
 
@@ -250,6 +292,24 @@ mod tests {
         let after = smaller.stats();
         assert!(m.delta(&before, &after) > 0.0, "removing a gate helps");
         assert_eq!(m.delta(&before, &before), 0.0);
+    }
+
+    #[test]
+    fn route_hints_follow_the_dominant_resource() {
+        assert_eq!(TransmonCost::default().route_hint(), RouteHint::Swaps);
+        assert_eq!(VolumeCost.route_hint(), RouteHint::Swaps);
+        assert_eq!(FidelityCost::default().route_hint(), RouteHint::Fidelity);
+        // A model that overrides nothing stays conservative.
+        struct Opaque;
+        impl CostModel for Opaque {
+            fn cost(&self, s: &CircuitStats) -> f64 {
+                s.volume as f64
+            }
+            fn name(&self) -> &str {
+                "opaque"
+            }
+        }
+        assert_eq!(Opaque.route_hint(), RouteHint::Conservative);
     }
 
     #[test]

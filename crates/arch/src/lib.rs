@@ -23,6 +23,6 @@ mod description;
 mod device;
 pub mod devices;
 
-pub use cost::{CostModel, FidelityCost, TransmonCost, VolumeCost};
+pub use cost::{CostModel, FidelityCost, RouteHint, TransmonCost, VolumeCost};
 pub use description::{device_description, parse_device};
 pub use device::{Device, TwoQubitNative};

@@ -9,7 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qsyn_arch::{devices, Device};
 use qsyn_circuit::Circuit;
 use qsyn_core::{
-    route_circuit_bounded_uncached, route_circuit_bounded_via, routing_table, RoutingObjective,
+    routing_table, CtrStrategy, LookaheadStrategy, RouteRequest, RoutingObjective,
+    RoutingStrategy,
 };
 use qsyn_gate::Gate;
 use std::hint::black_box;
@@ -36,7 +37,8 @@ fn bench_route_legacy(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(d.name()), &workload, |b, w| {
             b.iter(|| {
                 black_box(
-                    route_circuit_bounded_uncached(w, &d, RoutingObjective::FewestSwaps, None)
+                    CtrStrategy
+                        .route(&RouteRequest::new(w, &d))
                         .unwrap(),
                 )
             });
@@ -54,7 +56,34 @@ fn bench_route_table(c: &mut Criterion) {
         let workload = all_pairs_cnots(&d);
         let (table, _) = routing_table(&d, RoutingObjective::FewestSwaps);
         group.bench_with_input(BenchmarkId::from_parameter(d.name()), &workload, |b, w| {
-            b.iter(|| black_box(route_circuit_bounded_via(w, &d, &table, None).unwrap()));
+            b.iter(|| {
+                black_box(
+                    CtrStrategy
+                        .route(&RouteRequest::new(w, &d).with_table(table.clone()))
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The SABRE-style lookahead router on the same workload (table-backed),
+/// so the per-gate cost of the candidate scoring is visible next to CTR.
+fn bench_route_lookahead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_lookahead");
+    group.sample_size(20);
+    for d in devices::ibm_devices() {
+        let workload = all_pairs_cnots(&d);
+        let (table, _) = routing_table(&d, RoutingObjective::FewestSwaps);
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &workload, |b, w| {
+            b.iter(|| {
+                black_box(
+                    LookaheadStrategy::default()
+                        .route(&RouteRequest::new(w, &d).with_table(table.clone()))
+                        .unwrap(),
+                )
+            });
         });
     }
     group.finish();
@@ -78,5 +107,11 @@ fn bench_table_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_route_legacy, bench_route_table, bench_table_build);
+criterion_group!(
+    benches,
+    bench_route_legacy,
+    bench_route_table,
+    bench_route_lookahead,
+    bench_table_build
+);
 criterion_main!(benches);

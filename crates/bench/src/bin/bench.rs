@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release --bin bench -- perf [--jobs N] [--out FILE]
 //!                                         [--cache-out FILE]
+//!                                         [--routing-out FILE]
 //! ```
 //!
 //! The `BENCH_qmdd.json` report has three sections:
@@ -30,19 +31,26 @@
 //!   workload routed by the legacy per-gate search vs. the precomputed
 //!   routing table, outputs asserted byte-identical.
 //!
+//! `BENCH_routing.json` (schema `qsyn-bench-routing/1`) benchmarks the
+//! routing *strategies* against each other: per (device, objective), the
+//! paper's CTR vs. the SABRE-style lookahead router on the same workload,
+//! with total SWAPs, Eqn. 2 cost, wall time, and a QMDD equivalence
+//! verdict for every output — and an assertion that the lookahead wins on
+//! SWAPs or cost for at least two device/objective combinations.
+//!
 //! See `docs/PERFORMANCE.md` for how to read the numbers.
 
-use qsyn_arch::{devices, Device};
+use qsyn_arch::{devices, CostModel, Device, TransmonCost};
 use qsyn_bench::big::BIG_BENCHMARKS;
 use qsyn_bench::par::{flag_value, jobs_from_args};
 use qsyn_bench::report::{run_table5_jobs, run_table5_sweep, Cell, SweepConfig, Table5Row};
 use qsyn_circuit::Circuit;
 use qsyn_core::{
-    cache, route_circuit_bounded_uncached, route_circuit_bounded_via, routing_table, CacheMode,
-    Compiler, RoutingObjective, Verification,
+    cache, routing_table, CacheMode, Compiler, CtrStrategy, LookaheadStrategy, RouteOutcome,
+    RouteRequest, RoutingObjective, RoutingStrategy, RoutingTable, Verification,
 };
 use qsyn_gate::Gate;
-use qsyn_qmdd::{equivalent_miter_with_gc_threshold, EquivReport};
+use qsyn_qmdd::{equivalent_miter, equivalent_miter_with_gc_threshold, EquivReport};
 use qsyn_trace::json::Value;
 use qsyn_trace::{Pass, TableSink};
 use std::sync::Arc;
@@ -155,33 +163,31 @@ fn routing_section() -> Value {
             let t = Instant::now();
             let mut legacy = None;
             for _ in 0..ROUTE_REPS {
-                legacy = Some(
-                    route_circuit_bounded_uncached(&workload, &d, objective, None)
-                        .expect("ibm devices are connected"),
-                );
+                let req = RouteRequest::new(&workload, &d).with_objective(objective);
+                legacy = Some(CtrStrategy.route(&req).expect("ibm devices are connected"));
             }
             let legacy_s = t.elapsed().as_secs_f64();
 
             let t = Instant::now();
             let mut tabled = None;
             for _ in 0..ROUTE_REPS {
-                tabled = Some(
-                    route_circuit_bounded_via(&workload, &d, &table, None)
-                        .expect("ibm devices are connected"),
-                );
+                let req = RouteRequest::new(&workload, &d)
+                    .with_objective(objective)
+                    .with_table(table.clone());
+                tabled = Some(CtrStrategy.route(&req).expect("ibm devices are connected"));
             }
             let table_s = t.elapsed().as_secs_f64();
 
-            let (legacy_c, legacy_k) = legacy.expect("reps >= 1");
-            let (table_c, table_k) = tabled.expect("reps >= 1");
+            let legacy = legacy.expect("reps >= 1");
+            let tabled = tabled.expect("reps >= 1");
             assert_eq!(
-                legacy_c.gates(),
-                table_c.gates(),
+                legacy.circuit.gates(),
+                tabled.circuit.gates(),
                 "table routing must be byte-identical to the legacy search \
                  ({} {objective:?})",
                 d.name()
             );
-            assert_eq!(legacy_k.swaps_inserted, table_k.swaps_inserted);
+            assert_eq!(legacy.swaps_inserted, tabled.swaps_inserted);
             entries.push(obj(vec![
                 ("device", Value::Str(d.name().to_string())),
                 (
@@ -198,6 +204,111 @@ fn routing_section() -> Value {
         }
     }
     Value::Arr(entries)
+}
+
+/// Repetitions for the strategy shoot-out (the lookahead search is
+/// heavier per gate than a table lookup, so fewer reps than the
+/// table-vs-legacy timing).
+const STRATEGY_REPS: usize = 5;
+
+/// Times `strategy` over the workload and returns (mean seconds per rep,
+/// last outcome).
+fn time_strategy(
+    strategy: &dyn RoutingStrategy,
+    workload: &Circuit,
+    d: &Device,
+    objective: RoutingObjective,
+    table: &Arc<RoutingTable>,
+) -> (f64, RouteOutcome) {
+    let t = Instant::now();
+    let mut last = None;
+    for _ in 0..STRATEGY_REPS {
+        let req = RouteRequest::new(workload, d)
+            .with_objective(objective)
+            .with_table(table.clone());
+        last = Some(strategy.route(&req).expect("ibm devices are connected"));
+    }
+    (
+        t.elapsed().as_secs_f64() / STRATEGY_REPS as f64,
+        last.expect("reps >= 1"),
+    )
+}
+
+/// One strategy's result on one (device, objective): counters, Eqn. 2
+/// cost of the routed output, timing, and the QMDD equivalence verdict.
+fn strategy_json(seconds: f64, outcome: &RouteOutcome, eqn2: f64, equivalent: bool) -> Value {
+    obj(vec![
+        ("total_swaps", Value::Num(outcome.total_swaps() as f64)),
+        ("gates", Value::Num(outcome.circuit.len() as f64)),
+        ("depth", Value::Num(outcome.depth as f64)),
+        ("eqn2_cost", Value::Num(eqn2)),
+        ("seconds", Value::Num(seconds)),
+        ("equivalent", Value::Bool(equivalent)),
+    ])
+}
+
+/// `BENCH_routing.json`: CTR vs. the SABRE-style lookahead router per
+/// (device, objective), every output QMDD-verified against the workload.
+/// Panics unless the lookahead wins on total SWAPs or Eqn. 2 cost for at
+/// least two device/objective combinations.
+fn routing_bench(routing_out: &str) {
+    eprintln!("bench perf: routing strategies (ctr vs lookahead)...");
+    let cost = TransmonCost::default();
+    let mut entries = Vec::new();
+    let mut lookahead_wins = 0usize;
+    let mut combos = 0usize;
+    for d in devices::ibm_devices() {
+        let workload = all_pairs_cnots(&d);
+        for objective in [RoutingObjective::FewestSwaps, RoutingObjective::HighestFidelity] {
+            let (table, _) = routing_table(&d, objective);
+            let (ctr_s, ctr) = time_strategy(&CtrStrategy, &workload, &d, objective, &table);
+            let (look_s, look) =
+                time_strategy(&LookaheadStrategy::default(), &workload, &d, objective, &table);
+            let ctr_ok = equivalent_miter(&workload, &ctr.circuit).equivalent;
+            let look_ok = equivalent_miter(&workload, &look.circuit).equivalent;
+            assert!(
+                ctr_ok && look_ok,
+                "strategy output failed QMDD verification ({} {objective:?})",
+                d.name()
+            );
+            let ctr_cost = cost.circuit_cost(&ctr.circuit);
+            let look_cost = cost.circuit_cost(&look.circuit);
+            let wins_swaps = look.total_swaps() < ctr.total_swaps();
+            let wins_cost = look_cost < ctr_cost;
+            combos += 1;
+            lookahead_wins += usize::from(wins_swaps || wins_cost);
+            entries.push(obj(vec![
+                ("device", Value::Str(d.name().to_string())),
+                (
+                    "objective",
+                    Value::Str(format!("{objective:?}").to_lowercase()),
+                ),
+                ("cnots", Value::Num(workload.len() as f64)),
+                ("ctr", strategy_json(ctr_s, &ctr, ctr_cost, ctr_ok)),
+                ("lookahead", strategy_json(look_s, &look, look_cost, look_ok)),
+                ("lookahead_wins_swaps", Value::Bool(wins_swaps)),
+                ("lookahead_wins_cost", Value::Bool(wins_cost)),
+            ]));
+        }
+    }
+    assert!(
+        lookahead_wins >= 2,
+        "lookahead must beat CTR on SWAPs or Eqn. 2 cost for at least two \
+         device/objective combos (won {lookahead_wins} of {combos})"
+    );
+    let report = obj(vec![
+        ("schema", Value::Str("qsyn-bench-routing/1".to_string())),
+        ("combos", Value::Num(combos as f64)),
+        ("lookahead_wins", Value::Num(lookahead_wins as f64)),
+        ("strategies", Value::Arr(entries)),
+    ]);
+    let text = format!("{report}\n");
+    if let Err(e) = std::fs::write(routing_out, &text) {
+        eprintln!("error: {routing_out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{text}");
+    eprintln!("bench perf: wrote {routing_out}");
 }
 
 fn cache_perf(cache_out: &str) {
@@ -319,13 +430,21 @@ fn main() {
         .filter(|v| !v.is_empty())
         .map(str::to_string)
         .unwrap_or_else(|| "BENCH_cache.json".to_string());
+    let routing_out = flag_value(&args, "--routing-out")
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| "BENCH_routing.json".to_string());
     match args.first().map(String::as_str) {
         Some("perf") => {
             perf(jobs, &out);
             cache_perf(&cache_out);
+            routing_bench(&routing_out);
         }
         _ => {
-            eprintln!("usage: bench perf [--jobs N] [--out FILE] [--cache-out FILE]");
+            eprintln!(
+                "usage: bench perf [--jobs N] [--out FILE] [--cache-out FILE] \
+                 [--routing-out FILE]"
+            );
             std::process::exit(2);
         }
     }

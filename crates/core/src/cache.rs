@@ -409,7 +409,7 @@ impl RoutingTable {
 
 /// All-pairs negative-log-fidelity distances over the SWAP metric
 /// (Dijkstra per source; deterministic ascending-index tie-break).
-fn neglog_distances(device: &Device, n: usize) -> Vec<f64> {
+pub(crate) fn neglog_distances(device: &Device, n: usize) -> Vec<f64> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     let mut out = vec![f64::INFINITY; n * n];

@@ -20,7 +20,8 @@ use crate::error::CompileError;
 use crate::optimize::{optimize_bounded, OptimizeConfig, OptimizeCounters};
 use crate::place::{place, Placement, PlacementStrategy};
 use crate::remap::{route_circuit_persistent_traced, SwapStrategy};
-use crate::route::{route_circuit_bounded_uncached, route_circuit_bounded_via, RoutingObjective};
+use crate::route::{route_bounded_uncached, route_bounded_via, RoutingObjective};
+use crate::strategy::{RouteRequest, RouteStrategyKind};
 use qsyn_arch::{CostModel, Device, TransmonCost};
 use qsyn_circuit::{Circuit, CircuitStats};
 use qsyn_qmdd::{try_equivalent, try_equivalent_miter, EquivBudget, EquivBudgetError};
@@ -121,6 +122,7 @@ pub struct Compiler {
     cost: Box<dyn CostModel>,
     placement: PlacementStrategy,
     routing: RoutingObjective,
+    strategy: RouteStrategyKind,
     swaps: SwapStrategy,
     decompose: DecomposeStrategy,
     verification: Verification,
@@ -139,6 +141,7 @@ impl std::fmt::Debug for Compiler {
             .field("device", &self.device.name())
             .field("cost", &self.cost.name())
             .field("placement", &self.placement)
+            .field("strategy", &self.strategy)
             .field("verification", &self.verification)
             .field("optimize", &self.optimization)
             .field("cache", &self.cache)
@@ -157,6 +160,7 @@ impl Compiler {
             cost: Box::new(TransmonCost::default()),
             placement: PlacementStrategy::Identity,
             routing: RoutingObjective::FewestSwaps,
+            strategy: RouteStrategyKind::Ctr,
             swaps: SwapStrategy::ReturnControl,
             decompose: DecomposeStrategy::Exact,
             verification: Verification::Auto,
@@ -230,6 +234,25 @@ impl Compiler {
         self
     }
 
+    /// Selects the routing strategy (`--route-strategy` on the CLI): the
+    /// paper's CTR (the default), the SABRE-style lookahead router, the
+    /// lazy-synthesis skeleton, or `Auto`, which resolves per compile from
+    /// the cost model's [`route_hint`](qsyn_arch::CostModel::route_hint).
+    ///
+    /// Only [`RouteStrategyKind::Ctr`] also honors the
+    /// [`SwapStrategy`] setting; the second-generation strategies manage
+    /// their own layout and restoration.
+    pub fn with_route_strategy(mut self, strategy: RouteStrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured routing strategy (possibly `Auto`; resolution against
+    /// the cost model happens per compile).
+    pub fn route_strategy(&self) -> RouteStrategyKind {
+        self.strategy
+    }
+
     /// Replaces the cost model (the tool accepts "any arbitrary quantum
     /// cost function").
     pub fn with_cost_model(mut self, cost: Box<dyn CostModel>) -> Self {
@@ -255,12 +278,6 @@ impl Compiler {
     pub fn with_optimization(mut self, optimization: impl Into<Optimization>) -> Self {
         self.optimization = optimization.into();
         self
-    }
-
-    /// Restricts which optimization families run (ablation experiments).
-    #[deprecated(since = "0.1.0", note = "use `with_optimization(config)` instead")]
-    pub fn with_optimize_config(self, config: OptimizeConfig) -> Self {
-        self.with_optimization(config)
     }
 
     /// Streams every pass event of [`Compiler::compile`] to a sink as it
@@ -375,59 +392,106 @@ impl Compiler {
         self.check_deadline(started, Pass::Route)?;
         self.maybe_inject(Pass::Route)?;
         let span = Span::begin(Pass::Route);
+        let resolved = self.strategy.resolve(self.cost.route_hint());
+        let mut extra_counters: Vec<(String, f64)> = Vec::new();
         let (mut unoptimized, swaps_inserted, gates_rerouted, restoration, table_reused) =
-            match self.swaps {
-                SwapStrategy::ReturnControl if self.cache == CacheMode::Off => {
-                    // Legacy path: a fresh BFS/Dijkstra per CNOT.
-                    let (c, k) = route_circuit_bounded_uncached(
-                        &decomposed,
-                        &self.device,
-                        self.routing,
-                        self.budget.max_route_swaps,
-                    )?;
-                    (c, k.swaps_inserted, k.gates_rerouted, 0, None)
-                }
-                SwapStrategy::ReturnControl => {
-                    // Precomputed all-pairs routing table, shared across
-                    // every compile targeting this (device, objective).
-                    let (table, reused) = crate::cache::routing_table(&self.device, self.routing);
-                    let (c, k) = route_circuit_bounded_via(
-                        &decomposed,
-                        &self.device,
-                        &table,
-                        self.budget.max_route_swaps,
-                    )?;
-                    (c, k.swaps_inserted, k.gates_rerouted, 0, Some(reused))
-                }
-                SwapStrategy::PersistentLayout => {
-                    let (c, k) =
-                        route_circuit_persistent_traced(&decomposed, &self.device, self.routing)?;
-                    // The persistent router computes the restoration network at
-                    // the end, so the cap is enforced on the completed total.
-                    if let Some(cap) = self.budget.max_route_swaps {
-                        let total = k.swaps_inserted + k.restoration_swaps;
-                        if total > cap {
-                            return Err(CompileError::BudgetExceeded {
-                                pass: Pass::Route,
-                                resource: BudgetResource::RouteSwaps,
-                                limit: cap as u64,
-                                used: total as u64,
-                            });
-                        }
+            if resolved == RouteStrategyKind::Ctr {
+                // CTR is the only strategy that also honors the
+                // SwapStrategy knob; its three arms stay byte-identical to
+                // the pre-strategy compiler.
+                match self.swaps {
+                    SwapStrategy::ReturnControl if self.cache == CacheMode::Off => {
+                        // Legacy path: a fresh BFS/Dijkstra per CNOT.
+                        let (c, k) = route_bounded_uncached(
+                            &decomposed,
+                            &self.device,
+                            self.routing,
+                            self.budget.max_route_swaps,
+                        )?;
+                        (c, k.swaps_inserted, k.gates_rerouted, 0, None)
                     }
-                    (c, k.swaps_inserted, k.gates_rerouted, k.restoration_swaps, None)
+                    SwapStrategy::ReturnControl => {
+                        // Precomputed all-pairs routing table, shared across
+                        // every compile targeting this (device, objective).
+                        let (table, reused) =
+                            crate::cache::routing_table(&self.device, self.routing);
+                        let (c, k) = route_bounded_via(
+                            &decomposed,
+                            &self.device,
+                            &table,
+                            self.budget.max_route_swaps,
+                        )?;
+                        (c, k.swaps_inserted, k.gates_rerouted, 0, Some(reused))
+                    }
+                    SwapStrategy::PersistentLayout => {
+                        let (c, k) = route_circuit_persistent_traced(
+                            &decomposed,
+                            &self.device,
+                            self.routing,
+                        )?;
+                        // The persistent router computes the restoration network at
+                        // the end, so the cap is enforced on the completed total.
+                        if let Some(cap) = self.budget.max_route_swaps {
+                            let total = k.swaps_inserted + k.restoration_swaps;
+                            if total > cap {
+                                return Err(CompileError::BudgetExceeded {
+                                    pass: Pass::Route,
+                                    resource: BudgetResource::RouteSwaps,
+                                    limit: cap as u64,
+                                    used: total as u64,
+                                });
+                            }
+                        }
+                        (c, k.swaps_inserted, k.gates_rerouted, k.restoration_swaps, None)
+                    }
                 }
+            } else {
+                // Second-generation strategies run through the trait with a
+                // RouteRequest; they manage layout and restoration
+                // themselves, so the SwapStrategy knob does not apply.
+                let mut req = RouteRequest::new(&decomposed, &self.device)
+                    .with_objective(self.routing)
+                    .with_max_swaps(self.budget.max_route_swaps);
+                let reused = if self.cache == CacheMode::Off {
+                    None
+                } else {
+                    let (table, reused) =
+                        crate::cache::routing_table(&self.device, self.routing);
+                    req = req.with_table(table);
+                    Some(reused)
+                };
+                if let Some(sink) = &self.trace {
+                    req = req.with_trace(sink.clone());
+                }
+                let outcome = resolved.instance().route(&req)?;
+                extra_counters = outcome.extra;
+                (
+                    outcome.circuit,
+                    outcome.swaps_inserted,
+                    outcome.gates_rerouted,
+                    outcome.restoration_swaps,
+                    reused,
+                )
             };
         unoptimized.set_name(format!("{base_name}@{}", self.device.name()));
         let snap_routed = StageSnapshot::of(&unoptimized);
         record(self.finish(span, snap_decomposed, snap_routed, |s| {
+            if let Some(tag) = resolved.tag() {
+                s.counter("strategy", tag);
+            }
             s.counter("swaps_inserted", swaps_inserted as f64);
             s.counter("gates_rerouted", gates_rerouted as f64);
-            if self.swaps == SwapStrategy::PersistentLayout {
+            if self.swaps == SwapStrategy::PersistentLayout || restoration > 0 {
                 s.counter("restoration_swaps", restoration as f64);
+            }
+            if let Some(cap) = self.budget.max_route_swaps {
+                s.counter("swap_cap", cap as f64);
             }
             if let Some(reused) = table_reused {
                 s.counter("routing_table_reused", f64::from(u8::from(reused)));
+            }
+            for (name, value) in &extra_counters {
+                s.counter(name, *value);
             }
         }));
 
@@ -532,6 +596,7 @@ impl Compiler {
         // Option enums all have stable, value-complete Debug forms.
         h.write_str(&format!("{:?}", self.placement));
         h.write_str(&format!("{:?}", self.routing));
+        h.write_str(&format!("{:?}", self.strategy));
         h.write_str(&format!("{:?}", self.swaps));
         h.write_str(&format!("{:?}", self.decompose));
         h.write_str(&format!("{:?}", self.verification));
@@ -835,59 +900,6 @@ impl CompileResult {
         }
     }
 
-    /// A human-readable markdown report of the compilation: specification
-    /// vs. mapped vs. optimized metrics, depths, placement, and the
-    /// verification verdict.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `metrics()` for structured data or `metrics().render_table()` for text"
-    )]
-    pub fn report(&self, cost: &dyn CostModel) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "compilation report for {:?}",
-            self.placed.name().unwrap_or("circuit")
-        );
-        let _ = writeln!(out, "| stage | T | CNOT | gates | depth | T-depth | {} |", cost.name());
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
-        for (label, c) in [
-            ("specification", &self.placed),
-            ("mapped", &self.unoptimized),
-            ("optimized", &self.optimized),
-        ] {
-            let s = c.stats();
-            let _ = writeln!(
-                out,
-                "| {label} | {} | {} | {} | {} | {} | {:.2} |",
-                s.t_count,
-                s.cnot_count,
-                s.volume,
-                qsyn_circuit::depth(c),
-                qsyn_circuit::t_depth(c),
-                cost.circuit_cost(c)
-            );
-        }
-        let _ = writeln!(
-            out,
-            "optimization recovered {:.1}% of the mapping cost",
-            self.percent_cost_decrease(cost)
-        );
-        if !self.placement.is_identity() {
-            let _ = writeln!(out, "placement: {:?}", self.placement.as_slice());
-        }
-        let _ = writeln!(
-            out,
-            "QMDD verification: {}",
-            match self.verified {
-                Some(true) => "passed",
-                Some(false) => "FAILED",
-                None => "skipped",
-            }
-        );
-        out
-    }
 }
 
 #[cfg(test)]
@@ -1046,15 +1058,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn report_summarizes_all_stages() {
+    fn metrics_table_summarizes_all_stages() {
         let r = Compiler::new(devices::ibmqx3()).compile(&toffoli_spec()).unwrap();
-        let text = r.report(&TransmonCost::default());
-        assert!(text.contains("specification"));
-        assert!(text.contains("mapped"));
-        assert!(text.contains("optimized"));
-        assert!(text.contains("QMDD verification: passed"));
-        assert!(text.contains("transmon-eqn2"));
+        let text = r.metrics().render_table();
+        for pass in Pass::FIG2_ORDER {
+            assert!(text.contains(&pass.to_string()), "missing {pass} in:\n{text}");
+        }
+        assert!(r.metrics().verified == Some(true));
     }
 
     #[test]
@@ -1136,9 +1146,8 @@ mod tests {
             .with_optimization(cfg)
             .compile(&spec)
             .unwrap();
-        #[allow(deprecated)]
         let b = Compiler::new(devices::ibmqx4())
-            .with_optimize_config(cfg)
+            .with_optimization(Optimization::Enabled(cfg))
             .compile(&spec)
             .unwrap();
         let c = Compiler::new(devices::ibmqx4())

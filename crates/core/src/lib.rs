@@ -46,6 +46,7 @@ pub mod place;
 pub mod remap;
 pub mod route;
 pub mod sk;
+pub mod strategy;
 
 pub use budget::{BudgetResource, CompileBudget, VerifyMode};
 pub use cache::{routing_table, CacheMode, CacheStatsSnapshot, RoutingTable};
@@ -67,7 +68,12 @@ pub use remap::{
 };
 pub use sk::{approximate_rz, approximate_rz_to_accuracy, approximate_unitary, SkApproximation};
 pub use route::{
-    ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, route_circuit_bounded,
-    route_circuit_bounded_uncached, route_circuit_bounded_via, route_circuit_traced,
-    route_circuit_with, CtrRoute, RouteCounters, RoutingObjective, DEFAULT_CNOT_ERROR,
+    ctr_route, ctr_route_with, emit_cnot, emit_cnot_with, route_circuit, CtrRoute, RouteCounters,
+    RoutingObjective, DEFAULT_CNOT_ERROR,
+};
+#[allow(deprecated)]
+pub use route::{route_circuit_bounded, route_circuit_bounded_uncached, route_circuit_bounded_via};
+pub use strategy::{
+    CtrStrategy, LazySynthStrategy, LookaheadStrategy, RouteOutcome, RouteRequest,
+    RouteStrategyKind, RoutingStrategy,
 };

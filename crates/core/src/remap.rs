@@ -33,28 +33,29 @@ pub enum SwapStrategy {
     PersistentLayout,
 }
 
-/// Tracks the drifting logical-to-physical assignment.
-struct Layout {
-    phys_of: Vec<usize>, // logical line -> physical qubit
-    log_of: Vec<usize>,  // physical qubit -> logical line
+/// Tracks the drifting logical-to-physical assignment (shared with the
+/// lookahead strategy, which also routes under a persistent layout).
+pub(crate) struct Layout {
+    pub(crate) phys_of: Vec<usize>, // logical line -> physical qubit
+    pub(crate) log_of: Vec<usize>,  // physical qubit -> logical line
 }
 
 impl Layout {
-    fn identity(n: usize) -> Self {
+    pub(crate) fn identity(n: usize) -> Self {
         Layout {
             phys_of: (0..n).collect(),
             log_of: (0..n).collect(),
         }
     }
 
-    fn swap_physical(&mut self, a: usize, b: usize) {
+    pub(crate) fn swap_physical(&mut self, a: usize, b: usize) {
         let (la, lb) = (self.log_of[a], self.log_of[b]);
         self.log_of.swap(a, b);
         self.phys_of[la] = b;
         self.phys_of[lb] = a;
     }
 
-    fn is_identity(&self) -> bool {
+    pub(crate) fn is_identity(&self) -> bool {
         self.phys_of.iter().enumerate().all(|(l, &p)| l == p)
     }
 }
@@ -199,7 +200,7 @@ fn bring_adjacent(
 /// Adjacent transpositions sorting the layout back to the identity, via
 /// token sorting on a BFS spanning tree (fix positions deepest-first; every
 /// move routes through not-yet-fixed ancestors only).
-fn restoration_swaps(device: &Device, layout: &mut Layout) -> Vec<(usize, usize)> {
+pub(crate) fn restoration_swaps(device: &Device, layout: &mut Layout) -> Vec<(usize, usize)> {
     let n = device.n_qubits();
     // BFS spanning tree from qubit 0 (devices are connected).
     let mut parent: Vec<Option<usize>> = vec![None; n];

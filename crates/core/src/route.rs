@@ -399,78 +399,51 @@ impl RouteCounters {
     }
 }
 
-/// Legalizes every CNOT of a technology-ready circuit against the device
-/// coupling map. One-qubit gates pass through unchanged.
+/// Legalizes every two-qubit gate of a technology-ready circuit against
+/// the device coupling map. One-qubit gates pass through unchanged.
+///
+/// This is *the* routing entry point for callers that do not need to pick
+/// a strategy: it runs the paper's CTR router
+/// ([`CtrStrategy`](crate::CtrStrategy)) through the
+/// [`RoutingStrategy`](crate::RoutingStrategy) trait, against the shared
+/// precomputed routing table for the device. For a different objective,
+/// a SWAP cap, per-route counters, or a second-generation router, build a
+/// [`RouteRequest`](crate::RouteRequest) and call a strategy directly —
+/// the historical `route_circuit_with`/`route_circuit_traced`/
+/// `route_circuit_bounded*` family collapsed into that API.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::UnmappedGate`] if a multi-qubit gate other than
-/// CNOT is present (run decomposition first), or
-/// [`CompileError::RouteNotFound`] on a disconnected map.
+/// CNOT (or CZ on a CZ-native device) is present (run decomposition
+/// first), or [`CompileError::RouteNotFound`] on a disconnected map.
 pub fn route_circuit(circuit: &Circuit, device: &Device) -> Result<Circuit, CompileError> {
-    route_circuit_with(circuit, device, RoutingObjective::FewestSwaps)
+    use crate::strategy::{RouteRequest, RoutingStrategy};
+    let (table, _) = crate::cache::routing_table(device, RoutingObjective::FewestSwaps);
+    let req = RouteRequest::new(circuit, device).with_table(table);
+    crate::strategy::CtrStrategy.route(&req).map(|o| o.circuit)
 }
 
-/// [`route_circuit`] under a configurable [`RoutingObjective`].
-///
-/// # Errors
-///
-/// See [`route_circuit`].
-pub fn route_circuit_with(
-    circuit: &Circuit,
-    device: &Device,
-    objective: RoutingObjective,
-) -> Result<Circuit, CompileError> {
-    route_circuit_traced(circuit, device, objective).map(|(c, _)| c)
-}
-
-/// [`route_circuit_with`] that also reports [`RouteCounters`].
-///
-/// # Errors
-///
-/// See [`route_circuit`].
-pub fn route_circuit_traced(
-    circuit: &Circuit,
-    device: &Device,
-    objective: RoutingObjective,
-) -> Result<(Circuit, RouteCounters), CompileError> {
-    route_circuit_bounded(circuit, device, objective, None)
-}
-
-/// [`route_circuit_traced`] under an optional SWAP-insertion cap.
-///
-/// Inserting more than `max_swaps` adjacent SWAPs aborts the pass with
-/// [`CompileError::BudgetExceeded`] — the cap a
-/// [`CompileBudget`](crate::CompileBudget) sets via
-/// [`with_max_route_swaps`](crate::CompileBudget::with_max_route_swaps).
-/// `None` routes without a cap.
-///
-/// # Errors
-///
-/// See [`route_circuit`], plus [`CompileError::BudgetExceeded`] on a blown
-/// cap.
-pub fn route_circuit_bounded(
+/// CTR routing under an objective and optional SWAP cap, resolving the
+/// shared [`RoutingTable`](crate::cache::RoutingTable) from the registry.
+pub(crate) fn route_bounded(
     circuit: &Circuit,
     device: &Device,
     objective: RoutingObjective,
     max_swaps: Option<usize>,
 ) -> Result<(Circuit, RouteCounters), CompileError> {
     let (table, _) = crate::cache::routing_table(device, objective);
-    route_circuit_bounded_via(circuit, device, &table, max_swaps)
+    route_bounded_via(circuit, device, &table, max_swaps)
 }
 
-/// [`route_circuit_bounded`] running the legacy per-gate CTR search instead
-/// of a shared [`RoutingTable`](crate::cache::RoutingTable).
+/// CTR routing running the legacy per-gate search instead of a shared
+/// [`RoutingTable`](crate::cache::RoutingTable).
 ///
 /// The table path is byte-identical to this one (the table stores exactly
 /// what these searches return); this entry point exists so differential
 /// tests and benchmarks can compare the two directly, and for
 /// [`CacheMode::Off`](crate::cache::CacheMode::Off).
-///
-/// # Errors
-///
-/// See [`route_circuit_bounded`].
-pub fn route_circuit_bounded_uncached(
+pub(crate) fn route_bounded_uncached(
     circuit: &Circuit,
     device: &Device,
     objective: RoutingObjective,
@@ -481,14 +454,10 @@ pub fn route_circuit_bounded_uncached(
     })
 }
 
-/// [`route_circuit_bounded`] against an explicit precomputed
+/// CTR routing against an explicit precomputed
 /// [`RoutingTable`](crate::cache::RoutingTable) (the compiler fetches the
 /// shared table once per compile and passes it here).
-///
-/// # Errors
-///
-/// See [`route_circuit_bounded`].
-pub fn route_circuit_bounded_via(
+pub(crate) fn route_bounded_via(
     circuit: &Circuit,
     device: &Device,
     table: &crate::cache::RoutingTable,
@@ -498,6 +467,66 @@ pub fn route_circuit_bounded_via(
     route_circuit_bounded_impl(circuit, device, max_swaps, |control, target| {
         table.route(control, target)
     })
+}
+
+/// Deprecated compatibility alias for the pre-strategy bounded router.
+///
+/// # Errors
+///
+/// See [`route_circuit`], plus [`CompileError::BudgetExceeded`] on a blown
+/// cap.
+#[doc(hidden)]
+#[deprecated(
+    since = "0.6.0",
+    note = "use a RoutingStrategy (CtrStrategy) with a RouteRequest instead"
+)]
+pub fn route_circuit_bounded(
+    circuit: &Circuit,
+    device: &Device,
+    objective: RoutingObjective,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
+    route_bounded(circuit, device, objective, max_swaps)
+}
+
+/// Deprecated compatibility alias for the pre-strategy uncached router.
+///
+/// # Errors
+///
+/// See [`route_circuit`], plus [`CompileError::BudgetExceeded`] on a blown
+/// cap.
+#[doc(hidden)]
+#[deprecated(
+    since = "0.6.0",
+    note = "use CtrStrategy with a table-less RouteRequest instead"
+)]
+pub fn route_circuit_bounded_uncached(
+    circuit: &Circuit,
+    device: &Device,
+    objective: RoutingObjective,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
+    route_bounded_uncached(circuit, device, objective, max_swaps)
+}
+
+/// Deprecated compatibility alias for the pre-strategy table router.
+///
+/// # Errors
+///
+/// See [`route_circuit`], plus [`CompileError::BudgetExceeded`] on a blown
+/// cap.
+#[doc(hidden)]
+#[deprecated(
+    since = "0.6.0",
+    note = "use CtrStrategy with RouteRequest::with_table instead"
+)]
+pub fn route_circuit_bounded_via(
+    circuit: &Circuit,
+    device: &Device,
+    table: &crate::cache::RoutingTable,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
+    route_bounded_via(circuit, device, table, max_swaps)
 }
 
 /// The shared routing loop; `route_for` yields the CTR route per two-qubit
@@ -706,7 +735,7 @@ mod tests {
         c.push(Gate::cx(5, 10)); // the Fig. 5 reroute: 2 hops
         c.push(Gate::cx(0, 1)); // adjacent: no swaps
         let (traced, counters) =
-            route_circuit_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+            route_bounded(&c, &d, RoutingObjective::FewestSwaps, None).unwrap();
         let plain = route_circuit(&c, &d).unwrap();
         assert_eq!(traced, plain, "tracing must not change the output");
         assert_eq!(counters.gates_rerouted, 1);
@@ -718,7 +747,7 @@ mod tests {
         let d = devices::ibmqx2();
         let mut c = Circuit::new(5);
         c.push(Gate::cx(0, 1));
-        let (_, counters) = route_circuit_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+        let (_, counters) = route_bounded(&c, &d, RoutingObjective::FewestSwaps, None).unwrap();
         assert_eq!(counters, RouteCounters::default());
     }
 
@@ -883,10 +912,10 @@ mod tests {
         let mut c = Circuit::new(16);
         c.push(Gate::cx(5, 10)); // distant pair: needs several SWAPs
         let (_, counters) =
-            route_circuit_bounded(&c, &d, RoutingObjective::FewestSwaps, None).unwrap();
+            route_bounded(&c, &d, RoutingObjective::FewestSwaps, None).unwrap();
         assert!(counters.swaps_inserted >= 2);
         // A cap below the real requirement trips the budget...
-        match route_circuit_bounded(&c, &d, RoutingObjective::FewestSwaps, Some(1)) {
+        match route_bounded(&c, &d, RoutingObjective::FewestSwaps, Some(1)) {
             Err(CompileError::BudgetExceeded {
                 pass,
                 resource,
@@ -902,8 +931,8 @@ mod tests {
         }
         // ...while a generous cap matches the uncapped result.
         let (bounded, bc) =
-            route_circuit_bounded(&c, &d, RoutingObjective::FewestSwaps, Some(1000)).unwrap();
-        let (free, fc) = route_circuit_traced(&c, &d, RoutingObjective::FewestSwaps).unwrap();
+            route_bounded(&c, &d, RoutingObjective::FewestSwaps, Some(1000)).unwrap();
+        let (free, fc) = route_bounded(&c, &d, RoutingObjective::FewestSwaps, None).unwrap();
         assert_eq!(bounded.gates().len(), free.gates().len());
         assert_eq!(bc.swaps_inserted, fc.swaps_inserted);
     }

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use qsyn_arch::{devices, CostModel, Device, TransmonCost, VolumeCost};
 use qsyn_circuit::{Circuit, CircuitStats};
 use qsyn_core::{
-    route_circuit_bounded, route_circuit_bounded_uncached, CacheMode, CompileBudget, CompileError,
-    CompileResult, Compiler, RoutingObjective,
+    routing_table, CacheMode, CompileBudget, CompileError, CompileResult, Compiler, CtrStrategy,
+    RouteRequest, RoutingObjective, RoutingStrategy,
 };
 use qsyn_gate::Gate;
 
@@ -264,17 +264,25 @@ fn table_routing_matches_legacy_on_every_device() {
     for d in devices::all_devices() {
         let workload = routing_workload(&d);
         for objective in [RoutingObjective::FewestSwaps, RoutingObjective::HighestFidelity] {
-            let (legacy, legacy_counters) =
-                route_circuit_bounded_uncached(&workload, &d, objective, None).unwrap();
-            let (table, table_counters) =
-                route_circuit_bounded(&workload, &d, objective, None).unwrap();
+            let legacy = CtrStrategy
+                .route(&RouteRequest::new(&workload, &d).with_objective(objective))
+                .unwrap();
+            let (shared, _) = routing_table(&d, objective);
+            let table = CtrStrategy
+                .route(
+                    &RouteRequest::new(&workload, &d)
+                        .with_objective(objective)
+                        .with_table(shared),
+                )
+                .unwrap();
             assert_eq!(
-                legacy.gates(),
-                table.gates(),
+                legacy.circuit.gates(),
+                table.circuit.gates(),
                 "table routing diverged from legacy on {} under {objective:?}",
                 d.name()
             );
-            assert_eq!(legacy_counters, table_counters);
+            assert_eq!(legacy.swaps_inserted, table.swaps_inserted);
+            assert_eq!(legacy.gates_rerouted, table.gates_rerouted);
         }
     }
 }
@@ -287,9 +295,14 @@ fn disconnected_device_is_route_not_found_on_both_paths() {
     c.push(Gate::cx(0, 2));
 
     for objective in [RoutingObjective::FewestSwaps, RoutingObjective::HighestFidelity] {
+        let (shared, _) = routing_table(&split, objective);
         for result in [
-            route_circuit_bounded_uncached(&c, &split, objective, None),
-            route_circuit_bounded(&c, &split, objective, None),
+            CtrStrategy.route(&RouteRequest::new(&c, &split).with_objective(objective)),
+            CtrStrategy.route(
+                &RouteRequest::new(&c, &split)
+                    .with_objective(objective)
+                    .with_table(shared),
+            ),
         ] {
             match result {
                 Err(CompileError::RouteNotFound { control, target }) => {

@@ -56,6 +56,34 @@ impl std::fmt::Display for Pass {
     }
 }
 
+/// Routing-strategy names in numeric-tag order: the route pass stamps its
+/// event with a `strategy` counter holding the index into this table, and
+/// `qsyn check-trace` resolves it back via [`route_strategy_name`].
+///
+/// Counters are numeric by design (see [`PassEvent::counters`]), so the
+/// strategy travels as a small integer; this table is the single shared
+/// registry both the emitting and the validating side use.
+pub const ROUTE_STRATEGY_NAMES: [&str; 3] = ["ctr", "lookahead", "lazy-synth"];
+
+/// The routing-strategy name behind a route event's `strategy` counter
+/// value, or `None` when the value is not an exact known tag.
+pub fn route_strategy_name(tag: f64) -> Option<&'static str> {
+    ROUTE_STRATEGY_NAMES
+        .iter()
+        .enumerate()
+        .find(|&(i, _)| tag == i as f64)
+        .map(|(_, name)| *name)
+}
+
+/// Inverse of [`route_strategy_name`]: the numeric tag a strategy name is
+/// recorded under.
+pub fn route_strategy_tag(name: &str) -> Option<f64> {
+    ROUTE_STRATEGY_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .map(|i| i as f64)
+}
+
 /// Circuit shape at a pass boundary: gate statistics plus the two depth
 /// metrics every report table of the paper uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -39,5 +39,8 @@ mod event;
 pub mod json;
 mod sink;
 
-pub use event::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot, Verdict};
+pub use event::{
+    route_strategy_name, route_strategy_tag, CompileMetrics, Pass, PassEvent, Span, StageSnapshot,
+    Verdict, ROUTE_STRATEGY_NAMES,
+};
 pub use sink::{JsonlSink, NullSink, TableSink, TraceSink};

@@ -28,10 +28,17 @@ USAGE:
   qsyn compile <input> --device <name> [--out FILE] [--no-opt]
                [--no-verify] [--placement identity|greedy|annealed] [--report]
                [--cost eqn2|volume|fidelity] [--trace[=FILE]]
+               [--route-strategy ctr|lookahead|lazy-synth|auto]
                [--deadline SECONDS] [--node-budget NODES] [--strict-verify]
                [--cache off|tables|mem] [--cache-stats] [--repeat N]
       Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
       --report prints a stage-by-stage metrics table on stderr.
+      --route-strategy selects the coupling-map router: `ctr` (default,
+      the paper's swap-out/swap-back reroute), `lookahead` (SABRE-style
+      persistent-layout search scoring SWAPs against upcoming gates),
+      `lazy-synth` (lazy CNOT/phase resynthesis skeleton), or `auto`
+      (picked from the cost model). Every strategy's output is
+      QMDD-verified like any other pass.
       --trace streams one JSON line per compiler pass (wall time, gate/T/
       CNOT counts, cost delta, backend counters) to stderr, or to FILE
       with --trace=FILE.
@@ -59,7 +66,10 @@ USAGE:
   qsyn check-trace <trace.jsonl>
       Validate a --trace JSONL file: every line must be a well-formed
       pass event, and events sharing a sweep job id must follow Fig. 2
-      pass order. Prints a per-pass summary; exits 1 on malformed input.
+      pass order. Route events must carry a known routing-strategy tag
+      (when present) and must not report more SWAPs than the budget cap
+      recorded in the same event. Prints a per-pass summary; exits 1 on
+      malformed input.
 
   qsyn synth <hex> <n-vars> [--out FILE]
       Synthesize the single-target gate of a control function given as a
@@ -194,7 +204,17 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     let (pos, flags) = parse_or_exit!(
         args,
         &["no-opt", "no-verify", "report", "trace", "strict-verify", "cache-stats"],
-        &["device", "out", "placement", "cost", "deadline", "node-budget", "cache", "repeat"]
+        &[
+            "device",
+            "out",
+            "placement",
+            "cost",
+            "route-strategy",
+            "deadline",
+            "node-budget",
+            "cache",
+            "repeat"
+        ]
     );
     let [input] = pos.as_slice() else { usage() };
     let Some(device_name) = flag(&flags, "device") else {
@@ -242,6 +262,19 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     };
     let eqn2 = TransmonCost::default();
     compiler = compiler.with_cost_model(cost);
+    match flag(&flags, "route-strategy") {
+        None => {}
+        Some(spec) => match RouteStrategyKind::parse(spec) {
+            Some(kind) => compiler = compiler.with_route_strategy(kind),
+            None => {
+                eprintln!(
+                    "error: bad --route-strategy `{spec}` (want ctr, lookahead, \
+                     lazy-synth or auto)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    }
     let mut budget = CompileBudget::default();
     if let Some(spec) = flag(&flags, "deadline") {
         match spec.parse::<f64>() {
@@ -538,6 +571,45 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
             None => {} // legacy event: predates the degradation ladder
         }
     }
+    // Route events: a `strategy` counter (when present — legacy traces
+    // predate it) must be a known routing-strategy tag, and a route pass
+    // that also records its budget cap must not report more SWAPs than
+    // the cap allows — a trace showing a blown cap alongside a completed
+    // route event is self-contradictory.
+    let mut strategies: Vec<&str> = Vec::new();
+    for (k, e) in events.iter().enumerate() {
+        if e.pass != Pass::Route {
+            continue;
+        }
+        if let Some(tag) = e.counter("strategy") {
+            match qsyn::trace::route_strategy_name(tag) {
+                Some(name) => {
+                    if !strategies.contains(&name) {
+                        strategies.push(name);
+                    }
+                }
+                None => {
+                    eprintln!(
+                        "error: {input}: event {}: unknown routing-strategy tag {tag}",
+                        k + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(cap) = e.counter("swap_cap") {
+            let swaps = e.counter("swaps_inserted").unwrap_or(0.0)
+                + e.counter("restoration_swaps").unwrap_or(0.0);
+            if swaps > cap {
+                eprintln!(
+                    "error: {input}: event {}: route event reports {swaps} SWAPs, \
+                     exceeding the budget cap {cap} recorded in the same trace",
+                    k + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // Compile-cache replays stamp every event with `cache_hit = 1`; the
     // marker is boolean by construction, so anything else is corruption.
     let mut cache_hits = 0usize;
@@ -564,15 +636,21 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
     } else {
         String::new()
     };
+    let routed = if strategies.is_empty() {
+        String::new()
+    } else {
+        format!(", strategies: {}", strategies.join(", "))
+    };
     if jobs.is_empty() {
         eprintln!(
-            "{}: {} well-formed pass events{ladder}{cached}",
+            "{}: {} well-formed pass events{ladder}{cached}{routed}",
             input,
             events.len()
         );
     } else {
         eprintln!(
-            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 order{ladder}{cached}",
+            "{}: {} well-formed pass events across {} jobs, each in Fig. 2 \
+             order{ladder}{cached}{routed}",
             input,
             events.len(),
             jobs.len()

@@ -57,13 +57,16 @@ pub use qsyn_trace as trace;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use qsyn_arch::{
-        devices, CostModel, Device, FidelityCost, TransmonCost, TwoQubitNative, VolumeCost,
+        devices, CostModel, Device, FidelityCost, RouteHint, TransmonCost, TwoQubitNative,
+        VolumeCost,
     };
     pub use qsyn_circuit::{Circuit, CircuitStats};
     pub use qsyn_core::{
         BudgetResource, CacheMode, CacheStatsSnapshot, CompileBudget, CompileError, CompileResult,
-        Compiler, DecomposeStrategy, Optimization, OptimizeConfig, PlacementStrategy,
-        RoutingObjective, SwapStrategy, Verification, VerifyMode,
+        Compiler, CtrStrategy, DecomposeStrategy, LazySynthStrategy, LookaheadStrategy,
+        Optimization, OptimizeConfig, PlacementStrategy, RouteOutcome, RouteRequest,
+        RouteStrategyKind, RoutingObjective, RoutingStrategy, SwapStrategy, Verification,
+        VerifyMode,
     };
     pub use qsyn_esop::{
         cascade_from_esop, parse_pla, synthesize_multi_output, synthesize_single_target, Cube,

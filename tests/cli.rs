@@ -370,6 +370,107 @@ fn check_trace_validates_jsonl_files() {
 }
 
 #[test]
+fn compile_route_strategy_ctr_is_byte_identical_to_the_default() {
+    let input = tmp("tof12.real", TOFFOLI_REAL);
+    let default = qsyn(&["compile", input.to_str().unwrap(), "--device", "ibmqx3"]);
+    assert!(default.status.success(), "{}", String::from_utf8_lossy(&default.stderr));
+    let explicit = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx3",
+        "--route-strategy",
+        "ctr",
+    ]);
+    assert!(explicit.status.success(), "{}", String::from_utf8_lossy(&explicit.stderr));
+    assert_eq!(default.stdout, explicit.stdout, "ctr selection perturbed the output");
+}
+
+#[test]
+fn compile_route_strategy_smoke_through_check_trace() {
+    // Every selectable strategy compiles, verifies, and leaves a trace
+    // whose route event carries a tag `check-trace` resolves by name.
+    let input = tmp("tof13.real", TOFFOLI_REAL);
+    for (spec, tag) in [
+        ("ctr", "ctr"),
+        ("lookahead", "lookahead"),
+        ("lazy-synth", "lazy-synth"),
+        ("auto", "lookahead"), // default TransmonCost hints the lookahead
+    ] {
+        let trace = tmp(&format!("strategy-{spec}.trace.jsonl"), "");
+        let out = qsyn(&[
+            "compile",
+            input.to_str().unwrap(),
+            "--device",
+            "ibmqx5",
+            "--route-strategy",
+            spec,
+            &format!("--trace={}", trace.to_str().unwrap()),
+        ]);
+        assert!(out.status.success(), "{spec}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stderr).contains("verified = Some(true)"));
+        let ok = qsyn(&["check-trace", trace.to_str().unwrap()]);
+        assert!(ok.status.success(), "{spec}: {}", String::from_utf8_lossy(&ok.stderr));
+        let log = String::from_utf8_lossy(&ok.stderr);
+        assert!(log.contains(&format!("strategies: {tag}")), "{spec}: {log}");
+    }
+}
+
+#[test]
+fn compile_rejects_unknown_route_strategy() {
+    let input = tmp("tof14.real", TOFFOLI_REAL);
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        "--route-strategy",
+        "teleport",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("teleport"));
+}
+
+#[test]
+fn check_trace_rejects_route_events_that_blow_their_own_swap_cap() {
+    // Start from a genuine trace, then tamper with the route event so it
+    // claims more SWAPs than the budget cap recorded beside them.
+    let input = tmp("tof15.real", TOFFOLI_REAL);
+    let trace = tmp("tof15.trace.jsonl", "");
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        &format!("--trace={}", trace.to_str().unwrap()),
+    ]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&trace).unwrap();
+    // Prepended keys win: PassEvent::counter returns the first match.
+    let tampered: String = text
+        .lines()
+        .map(|line| {
+            if line.contains("\"pass\":\"route\"") {
+                line.replacen(
+                    "\"counters\":{",
+                    "\"counters\":{\"swaps_inserted\":9,\"swap_cap\":1,",
+                    1,
+                )
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(text, tampered, "route line not found to tamper with");
+    let bad_file = tmp("tof15.tampered.jsonl", &tampered);
+    let bad = qsyn(&["check-trace", bad_file.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1));
+    let log = String::from_utf8_lossy(&bad.stderr);
+    assert!(log.contains("exceeding the budget cap"), "{log}");
+}
+
+#[test]
 fn compile_report_renders_the_stage_table() {
     let input = tmp("tof10.real", TOFFOLI_REAL);
     let out = qsyn(&[
