@@ -198,6 +198,112 @@ pub fn grid(rows: usize, cols: usize) -> Device {
     Device::from_pairs(format!("grid{rows}x{cols}"), rows * cols, pairs)
 }
 
+/// Deterministic synthetic CNOT error probability for a directed coupling
+/// of a generated device family.
+///
+/// Derived from an FNV-1a hash of the (control, target) pair alone, so the
+/// annotation — and hence the device fingerprint — depends only on the
+/// coupling set, never on construction order. Values land in
+/// `[5e-3, 2e-2)`, the rough transmon range the paper's references report,
+/// and the two orientations of an edge hash differently so fidelity-aware
+/// routing has real asymmetry to exploit.
+fn synthetic_cnot_error(control: usize, target: usize) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in control
+        .to_le_bytes()
+        .into_iter()
+        .chain(target.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    5e-3 + 1.5e-2 * ((h % 1024) as f64 / 1024.0)
+}
+
+/// Annotates every coupling of a generated device with its synthetic
+/// calibration datum, enabling the `HighestFidelity` routing objective.
+fn with_synthetic_calibration(mut device: Device) -> Device {
+    let pairs: Vec<(usize, usize)> = device.couplings().collect();
+    for (c, t) in pairs {
+        device.set_cnot_error(c, t, synthetic_cnot_error(c, t));
+    }
+    device
+}
+
+/// The generated linear-nearest-neighbor family `lnn(n)`: a bidirectional
+/// chain `q0 <-> q1 <-> ... <-> q(n-1)` with synthetic calibration data.
+///
+/// Unlike the unidirectional [`line()`], every edge is natively available in
+/// both orientations (no Fig. 6 reversal) and every coupling carries an
+/// error annotation, so both routing objectives are exercised. This is the
+/// LNN architecture of the synthesis literature scaled to arbitrary width.
+pub fn lnn(n: usize) -> Device {
+    let pairs = (1..n).flat_map(|i| [(i - 1, i), (i, i - 1)]);
+    with_synthetic_calibration(Device::from_pairs(format!("lnn{n}"), n, pairs))
+}
+
+/// The generated 2D-lattice family `grid_calibrated(w, h)`: a bidirectional
+/// `w x h` grid (row-major, `w` columns per row) with synthetic calibration
+/// data, the planar-transmon topology scaled to thousands of qubits.
+///
+/// Distinct from the legacy unidirectional [`grid`]: every edge exists in
+/// both orientations and carries an error annotation.
+pub fn grid_calibrated(w: usize, h: usize) -> Device {
+    let mut pairs = Vec::new();
+    for r in 0..h {
+        for c in 0..w {
+            let q = r * w + c;
+            if c + 1 < w {
+                pairs.push((q, q + 1));
+                pairs.push((q + 1, q));
+            }
+            if r + 1 < h {
+                pairs.push((q, q + w));
+                pairs.push((q + w, q));
+            }
+        }
+    }
+    with_synthetic_calibration(Device::from_pairs(format!("grid{w}x{h}"), w * h, pairs))
+}
+
+/// The generated heavy-hexagon family `heavy_hex(d)`: a `d x d`-cell
+/// brick-wall honeycomb lattice with every edge subdivided by an extra
+/// qubit (the "heavy" decoration of IBM's heavy-hex processors), all edges
+/// bidirectional, with synthetic calibration data.
+///
+/// Vertex qubits have degree at most 3 and edge qubits exactly 2. The
+/// qubit count is `(d + 1) * (5d + 3)`: 72 at `d = 3`, 1095 at `d = 14`,
+/// 3864 at `d = 27`.
+pub fn heavy_hex(d: usize) -> Device {
+    assert!(d >= 1, "heavy-hex distance must be at least 1");
+    // Brick-wall honeycomb vertices on a (2d+2) x (d+1) grid; vertical
+    // edges only where (x + y) is even, which caps vertex degree at 3.
+    let w = 2 * d + 1;
+    let vertex = |x: usize, y: usize| y * (w + 1) + x;
+    let n_vertices = (w + 1) * (d + 1);
+    let mut lattice_edges: Vec<(usize, usize)> = Vec::new();
+    for y in 0..=d {
+        for x in 0..w {
+            lattice_edges.push((vertex(x, y), vertex(x + 1, y)));
+        }
+    }
+    for y in 0..d {
+        for x in 0..=w {
+            if (x + y) % 2 == 0 {
+                lattice_edges.push((vertex(x, y), vertex(x, y + 1)));
+            }
+        }
+    }
+    // Subdivide every lattice edge with a middle ("heavy") qubit.
+    let mut pairs = Vec::new();
+    for (i, &(a, b)) in lattice_edges.iter().enumerate() {
+        let mid = n_vertices + i;
+        pairs.extend([(a, mid), (mid, a), (mid, b), (b, mid)]);
+    }
+    let n = n_vertices + lattice_edges.len();
+    with_synthetic_calibration(Device::from_pairs(format!("heavyhex{d}"), n, pairs))
+}
+
 /// Every physical device of the library, in Table 2 order followed by the
 /// 96-qubit machine.
 pub fn all_devices() -> Vec<Device> {
@@ -209,11 +315,38 @@ pub fn ibm_devices() -> Vec<Device> {
     vec![ibmqx2(), ibmqx3(), ibmqx4(), ibmqx5(), ibmq_16()]
 }
 
-/// Looks a device up by name (including `"simulator"` at a given size via
-/// `"simulator:<n>"`).
+/// Widest device `device_by_name` will generate (guards CLI typos from
+/// allocating gigabyte coupling maps).
+pub const MAX_GENERATED_QUBITS: usize = 65_536;
+
+/// Looks a device up by name: the built-in library, `"simulator:<n>"`, and
+/// the generated families `"lnn:<n>"`, `"grid:<w>x<h>"` and
+/// `"heavy-hex:<d>"` (all capped at [`MAX_GENERATED_QUBITS`]).
 pub fn device_by_name(name: &str) -> Option<Device> {
     if let Some(n) = name.strip_prefix("simulator:") {
         return n.parse().ok().map(Device::simulator);
+    }
+    if let Some(n) = name.strip_prefix("lnn:") {
+        return n
+            .parse()
+            .ok()
+            .filter(|&n: &usize| (2..=MAX_GENERATED_QUBITS).contains(&n))
+            .map(lnn);
+    }
+    if let Some(dims) = name.strip_prefix("grid:") {
+        let (w, h) = dims.split_once('x')?;
+        let (w, h): (usize, usize) = (w.parse().ok()?, h.parse().ok()?);
+        if w == 0 || h == 0 || w.checked_mul(h)? > MAX_GENERATED_QUBITS {
+            return None;
+        }
+        return Some(grid_calibrated(w, h));
+    }
+    if let Some(d) = name.strip_prefix("heavy-hex:") {
+        return d
+            .parse()
+            .ok()
+            .filter(|&d: &usize| d >= 1 && (d + 1) * (5 * d + 3) <= MAX_GENERATED_QUBITS)
+            .map(heavy_hex);
     }
     match name {
         "ibmqx2" => Some(ibmqx2()),
@@ -334,6 +467,53 @@ mod tests {
         let cr = ring(n).coupling_complexity();
         let cs = Device::simulator(n).coupling_complexity();
         assert!(cl < cr && cr < cs);
+    }
+
+    #[test]
+    fn generated_families_are_connected_calibrated_and_symmetric() {
+        for d in [lnn(100), grid_calibrated(8, 8), heavy_hex(3)] {
+            assert!(d.is_connected(), "{} disconnected", d.name());
+            assert!(d.has_error_data(), "{} uncalibrated", d.name());
+            for (c, t) in d.couplings().collect::<Vec<_>>() {
+                assert!(d.has_coupling(t, c), "{}: {c}->{t} not symmetric", d.name());
+                let e = d.cnot_error(c, t).unwrap();
+                assert!((5e-3..2e-2).contains(&e), "{}: error {e} out of band", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_family_shapes() {
+        assert_eq!(lnn(256).n_qubits(), 256);
+        assert_eq!(lnn(256).coupling_count(), 2 * 255);
+        let g = grid_calibrated(32, 32);
+        assert_eq!(g.n_qubits(), 1024);
+        assert_eq!(g.coupling_count(), 2 * (2 * 31 * 32));
+        let hh = heavy_hex(3);
+        assert_eq!(hh.n_qubits(), (3 + 1) * (5 * 3 + 3)); // 72
+        // Vertex qubits cap at degree 3, middles at 2.
+        for q in 0..hh.n_qubits() {
+            assert!(hh.neighbors(q).len() <= 3, "q{q} overconnected");
+        }
+    }
+
+    #[test]
+    fn synthetic_calibration_is_orientation_asymmetric_and_stable() {
+        let d = lnn(10);
+        let forward = d.cnot_error(3, 4).unwrap();
+        let reverse = d.cnot_error(4, 3).unwrap();
+        assert_ne!(forward, reverse, "orientations must differ");
+        assert_eq!(d.fingerprint(), lnn(10).fingerprint(), "deterministic");
+    }
+
+    #[test]
+    fn generated_names_parse() {
+        assert_eq!(device_by_name("lnn:100").unwrap().n_qubits(), 100);
+        assert_eq!(device_by_name("grid:32x32").unwrap().n_qubits(), 1024);
+        assert_eq!(device_by_name("heavy-hex:7").unwrap().n_qubits(), (7 + 1) * (5 * 7 + 3));
+        for bad in ["lnn:1", "lnn:x", "grid:0x5", "grid:4", "grid:999x999", "heavy-hex:0"] {
+            assert!(device_by_name(bad).is_none(), "{bad} must not parse");
+        }
     }
 
     #[test]

@@ -416,6 +416,265 @@ fn perf(jobs: usize, out: &str) {
     eprintln!("bench perf: wrote {out}");
 }
 
+/// Gate count of the scale section's streaming compile (overridable with
+/// `QSYN_SCALE_STREAM_GATES` for quick local runs).
+const STREAM_GATES: usize = 1_000_000;
+/// Input gates per streaming window.
+const STREAM_WINDOW: usize = 512;
+/// The fixed QMDD node budget every streamed window must verify within.
+const STREAM_NODE_BUDGET: usize = 1 << 18;
+/// CNOTs in the strided oracle routing workload.
+const SCALE_ROUTE_CNOTS: usize = 200;
+/// Build/route the dense table only up to this size; beyond it the dense
+/// figures are projected (an O(n²) build at 4096 qubits is exactly the
+/// wall the oracle removes).
+const DENSE_MEASURE_MAX: usize = 1024;
+
+/// A strided CNOT workload touching a spread of sources and distances
+/// without enumerating all n² pairs (which no realistic circuit does at
+/// this scale).
+fn strided_cnots(d: &Device, count: usize) -> Circuit {
+    let n = d.n_qubits();
+    let mut c = Circuit::new(n);
+    for i in 0..count {
+        let a = (i * 37 + 11) % n;
+        let b = (a + 1 + (i * 13) % 96) % n;
+        if a != b {
+            c.push(Gate::cx(a, b));
+        }
+    }
+    c
+}
+
+/// The generated-family sizes the scale section sweeps (100–4096 qubits).
+fn scale_devices() -> Vec<Device> {
+    vec![
+        devices::lnn(128),
+        devices::grid_calibrated(16, 16),
+        devices::grid_calibrated(32, 32),
+        devices::grid_calibrated(64, 64),
+    ]
+}
+
+/// One size point: sparse oracle build/route time and memory vs the dense
+/// table (measured up to [`DENSE_MEASURE_MAX`] qubits, projected beyond).
+fn scale_point(d: &Device) -> Value {
+    let n = d.n_qubits();
+    let objective = RoutingObjective::FewestSwaps;
+    let workload = strided_cnots(d, SCALE_ROUTE_CNOTS);
+
+    let t = Instant::now();
+    let oracle = Arc::new(qsyn_core::DistanceOracle::build(d, objective));
+    let sparse_build_s = t.elapsed().as_secs_f64();
+    let sparse_build_bytes = oracle.approx_bytes();
+
+    let t = Instant::now();
+    let req = RouteRequest::new(&workload, d)
+        .with_objective(objective)
+        .with_oracle(oracle.clone());
+    let sparse_out = CtrStrategy.route(&req).expect("generated families are connected");
+    let sparse_route_s = t.elapsed().as_secs_f64();
+    let sparse_total_bytes = oracle.approx_bytes();
+
+    let mut pairs = vec![
+        ("qubits", Value::Num(n as f64)),
+        ("device", Value::Str(d.name().to_string())),
+        ("cnots", Value::Num(workload.len() as f64)),
+        ("sparse_build_seconds", Value::Num(sparse_build_s)),
+        ("sparse_build_bytes", Value::Num(sparse_build_bytes as f64)),
+        ("sparse_route_seconds", Value::Num(sparse_route_s)),
+        ("sparse_total_bytes", Value::Num(sparse_total_bytes as f64)),
+        ("oracle_hits", Value::Num(oracle.hit_count() as f64)),
+        ("oracle_misses", Value::Num(oracle.miss_count() as f64)),
+        // 20 bytes per all-pairs entry: u32 hop + f64 neglog + usize next
+        // hop — what a materialized dense matrix costs at this width.
+        ("dense_projected_bytes", Value::Num((n * n * 20) as f64)),
+    ];
+    if n <= DENSE_MEASURE_MAX {
+        let t = Instant::now();
+        let table = Arc::new(RoutingTable::build(d, objective));
+        let dense_build_s = t.elapsed().as_secs_f64();
+        let dense_bytes = table.approx_bytes();
+        let t = Instant::now();
+        let req = RouteRequest::new(&workload, d)
+            .with_objective(objective)
+            .with_table(table);
+        let dense_out = CtrStrategy.route(&req).expect("generated families are connected");
+        let dense_route_s = t.elapsed().as_secs_f64();
+        assert_eq!(
+            sparse_out.circuit.gates(),
+            dense_out.circuit.gates(),
+            "oracle routing must be byte-identical to the dense table on {}",
+            d.name()
+        );
+        pairs.push(("dense_build_seconds", Value::Num(dense_build_s)));
+        pairs.push(("dense_bytes", Value::Num(dense_bytes as f64)));
+        pairs.push(("dense_route_seconds", Value::Num(dense_route_s)));
+        pairs.push((
+            "sparse_memory_ratio",
+            Value::Num(sparse_total_bytes as f64 / dense_bytes as f64),
+        ));
+    }
+    obj(pairs)
+}
+
+/// A nearest-neighbor-heavy native gate stream over a `w`-column grid —
+/// the shape of workload a 2D fabric is built for.
+fn grid_stream(n: usize, w: usize, gates: usize) -> impl Iterator<Item = Gate> {
+    (0..gates).map(move |i| match i % 4 {
+        0 => Gate::h((i * 37 + 11) % n),
+        1 => {
+            let q = (i * 73 + 5) % n;
+            if q % w < w - 1 {
+                Gate::cx(q, q + 1)
+            } else {
+                Gate::cx(q, q - 1)
+            }
+        }
+        2 => Gate::t((i * 29 + 3) % n),
+        _ => {
+            let q = (i * 41 + 17) % n;
+            if q + w < n {
+                Gate::cx(q, q + w)
+            } else {
+                Gate::cx(q, q - w)
+            }
+        }
+    })
+}
+
+/// `BENCH_scale.json`: the device-axis scaling story. Sparse oracle vs
+/// dense table build time/memory from 128 to 4096 qubits (dense measured
+/// to 1024, projected beyond), and a million-gate streaming compile on
+/// the 1024-qubit grid with windowed QMDD verification under a fixed
+/// node budget. Panics unless the sparse figures beat dense at >= 1024
+/// qubits and the streamed verdict is non-Unverified.
+fn scale_bench(scale_out: &str) {
+    eprintln!("bench perf: oracle-vs-dense scaling sweep (128..4096 qubits)...");
+    let points: Vec<Value> = scale_devices().iter().map(scale_point).collect();
+
+    // The acceptance comparisons at the 1024-qubit grid point.
+    let find = |v: &Value, key: &str| -> f64 {
+        let Value::Obj(pairs) = v else { panic!("point is an object") };
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing {key}"))
+    };
+    let p1024 = points
+        .iter()
+        .find(|p| find(p, "qubits") == 1024.0)
+        .expect("1024-qubit point");
+    let sparse_bytes = find(p1024, "sparse_total_bytes");
+    let dense_bytes = find(p1024, "dense_bytes");
+    let sparse_build = find(p1024, "sparse_build_seconds");
+    let dense_build = find(p1024, "dense_build_seconds");
+    assert!(
+        sparse_bytes * 8.0 < dense_bytes,
+        "sparse oracle must use <1/8 the dense memory at 1024 qubits \
+         ({sparse_bytes} vs {dense_bytes})"
+    );
+    assert!(
+        sparse_build < dense_build,
+        "sparse oracle must build faster than the dense table at 1024 \
+         qubits ({sparse_build}s vs {dense_build}s)"
+    );
+    let p4096 = points
+        .iter()
+        .find(|p| find(p, "qubits") == 4096.0)
+        .expect("4096-qubit point");
+    assert!(
+        find(p4096, "sparse_total_bytes") * 100.0 < find(p4096, "dense_projected_bytes"),
+        "sparse oracle must stay >100x under the projected dense matrix at 4096 qubits"
+    );
+
+    let stream_gates: usize = std::env::var("QSYN_SCALE_STREAM_GATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(STREAM_GATES);
+    eprintln!(
+        "bench perf: streaming {stream_gates} gates through the 1024-qubit grid \
+         (window {STREAM_WINDOW}, node budget {STREAM_NODE_BUDGET})..."
+    );
+    let device = devices::grid_calibrated(32, 32);
+    let n = device.n_qubits();
+    let compiler = Compiler::new(device)
+        .with_budget(
+            qsyn_core::CompileBudget::default().with_node_budget(STREAM_NODE_BUDGET),
+        );
+    let mut emitted = 0usize;
+    let t = Instant::now();
+    let summary = compiler
+        .compile_stream(n, STREAM_WINDOW, grid_stream(n, 32, stream_gates), |_| {
+            emitted += 1;
+        })
+        .expect("streaming compile fits its budget");
+    let stream_s = t.elapsed().as_secs_f64();
+    assert!(
+        !summary.verdict.is_unverified(),
+        "every streamed window must verify within the node budget: {:?}",
+        summary.verdict
+    );
+    assert_eq!(summary.gates_out, emitted);
+    assert!(
+        summary.peak_resident_gates < stream_gates / 10,
+        "streaming must bound the resident circuit (peak {} of {} gates)",
+        summary.peak_resident_gates,
+        stream_gates
+    );
+    let streaming = obj(vec![
+        ("device", Value::Str("grid32x32".to_string())),
+        ("qubits", Value::Num(n as f64)),
+        ("gates_in", Value::Num(summary.gates_in as f64)),
+        ("gates_out", Value::Num(summary.gates_out as f64)),
+        ("window_gates", Value::Num(summary.window_gates as f64)),
+        ("windows", Value::Num(summary.windows as f64)),
+        ("node_budget", Value::Num(STREAM_NODE_BUDGET as f64)),
+        ("seconds", Value::Num(stream_s)),
+        (
+            "gates_per_second",
+            Value::Num(summary.gates_in as f64 / stream_s),
+        ),
+        (
+            "peak_resident_gates",
+            Value::Num(summary.peak_resident_gates as f64),
+        ),
+        ("swaps_inserted", Value::Num(summary.swaps_inserted as f64)),
+        (
+            "max_window_swaps",
+            Value::Num(summary.max_window_swaps as f64),
+        ),
+        (
+            "verified_windows",
+            Value::Num(summary.verified_windows as f64),
+        ),
+        (
+            "unverified_windows",
+            Value::Num(summary.unverified_windows as f64),
+        ),
+        ("oracle_hits", Value::Num(summary.oracle_hits as f64)),
+        ("oracle_misses", Value::Num(summary.oracle_misses as f64)),
+        ("verdict", Value::Str(format!("{:?}", summary.verdict))),
+    ]);
+
+    let report = obj(vec![
+        ("schema", Value::Str("qsyn-bench-scale/1".to_string())),
+        ("oracle", Value::Arr(points)),
+        ("streaming", streaming),
+    ]);
+    let text = format!("{report}\n");
+    if let Err(e) = std::fs::write(scale_out, &text) {
+        eprintln!("error: {scale_out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{text}");
+    eprintln!("bench perf: wrote {scale_out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(jobs) = jobs_from_args(&args) else {
@@ -434,16 +693,23 @@ fn main() {
         .filter(|v| !v.is_empty())
         .map(str::to_string)
         .unwrap_or_else(|| "BENCH_routing.json".to_string());
+    let scale_out = flag_value(&args, "--scale-out")
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
     match args.first().map(String::as_str) {
         Some("perf") => {
             perf(jobs, &out);
             cache_perf(&cache_out);
             routing_bench(&routing_out);
+            scale_bench(&scale_out);
         }
+        Some("scale") => scale_bench(&scale_out),
         _ => {
             eprintln!(
                 "usage: bench perf [--jobs N] [--out FILE] [--cache-out FILE] \
-                 [--routing-out FILE]"
+                 [--routing-out FILE] [--scale-out FILE]\n       \
+                 bench scale [--scale-out FILE]"
             );
             std::process::exit(2);
         }

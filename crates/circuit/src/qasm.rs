@@ -22,41 +22,60 @@ use std::fmt::Write as _;
 /// Returns an error message when the circuit contains a generalized Toffoli
 /// with more than two controls (decompose it first).
 pub fn to_qasm(circuit: &Circuit) -> Result<String, String> {
+    let mut out = qasm_header(circuit.n_qubits(), circuit.name());
+    for g in circuit.gates() {
+        write_gate_qasm(&mut out, g)?;
+    }
+    Ok(out)
+}
+
+/// The OpenQASM 2.0 preamble for an `n_qubits`-wide register, without any
+/// gate statements — the fixed-size prefix a streaming emitter writes once
+/// before appending gates with [`write_gate_qasm`] window by window.
+pub fn qasm_header(n_qubits: usize, name: Option<&str>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "OPENQASM 2.0;");
     let _ = writeln!(out, "include \"qelib1.inc\";");
-    if let Some(name) = circuit.name() {
+    if let Some(name) = name {
         let _ = writeln!(out, "// circuit: {name}");
     }
-    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
-    let _ = writeln!(out, "creg c[{}];", circuit.n_qubits());
-    for g in circuit.gates() {
-        match g {
-            Gate::Single { op, qubit } => {
-                let _ = writeln!(out, "{} q[{}];", op.qasm_name(), qubit);
-            }
-            Gate::Cx { control, target } => {
-                let _ = writeln!(out, "cx q[{control}],q[{target}];");
-            }
-            Gate::Cz { control, target } => {
-                let _ = writeln!(out, "cz q[{control}],q[{target}];");
-            }
-            Gate::Swap { a, b } => {
-                let _ = writeln!(out, "swap q[{a}],q[{b}];");
-            }
-            Gate::Mct { controls, target } => {
-                if controls.len() == 2 {
-                    let _ = writeln!(out, "ccx q[{}],q[{}],q[{}];", controls[0], controls[1], target);
-                } else {
-                    return Err(format!(
-                        "generalized Toffoli with {} controls has no QASM 2.0 name; decompose first",
-                        controls.len()
-                    ));
-                }
+    let _ = writeln!(out, "qreg q[{n_qubits}];");
+    let _ = writeln!(out, "creg c[{n_qubits}];");
+    out
+}
+
+/// Appends one gate's QASM statement (with trailing newline) to `out`.
+///
+/// # Errors
+///
+/// Returns an error message when the gate is a generalized Toffoli with
+/// more than two controls (no `qelib1` equivalent; decompose it first).
+pub fn write_gate_qasm(out: &mut String, g: &Gate) -> Result<(), String> {
+    match g {
+        Gate::Single { op, qubit } => {
+            let _ = writeln!(out, "{} q[{}];", op.qasm_name(), qubit);
+        }
+        Gate::Cx { control, target } => {
+            let _ = writeln!(out, "cx q[{control}],q[{target}];");
+        }
+        Gate::Cz { control, target } => {
+            let _ = writeln!(out, "cz q[{control}],q[{target}];");
+        }
+        Gate::Swap { a, b } => {
+            let _ = writeln!(out, "swap q[{a}],q[{b}];");
+        }
+        Gate::Mct { controls, target } => {
+            if controls.len() == 2 {
+                let _ = writeln!(out, "ccx q[{}],q[{}],q[{}];", controls[0], controls[1], target);
+            } else {
+                return Err(format!(
+                    "generalized Toffoli with {} controls has no QASM 2.0 name; decompose first",
+                    controls.len()
+                ));
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Parses OpenQASM 2.0 source into a [`Circuit`].

@@ -84,15 +84,27 @@ const ROUTING_TABLE_CAP: usize = 32;
 const MCT_TEMPLATE_CAP: usize = 256;
 const COMPILE_CACHE_CAP: usize = 64;
 
+/// Approximate byte budget shared by each routing registry (tables and
+/// oracles separately). Entry *count* alone is not enough once generated
+/// devices reach thousands of qubits: a single dense 4096-qubit table is
+/// ~1 GiB of routes, so the LRU also accounts approximate bytes per entry
+/// and evicts until the total fits.
+const ROUTING_BYTE_BUDGET: usize = 256 << 20;
+
 // ---------------------------------------------------------------------------
-// A minimal LRU map. Eviction scans for the stalest stamp — O(len), which
-// is irrelevant at these capacities and keeps the structure dependency-free.
+// A minimal weight-aware LRU map. Eviction scans for the stalest stamp —
+// O(len) per eviction, which is irrelevant at these capacities and keeps
+// the structure dependency-free. Entries carry an approximate byte weight;
+// inserts evict until both the entry-count cap and the optional byte
+// budget hold.
 // ---------------------------------------------------------------------------
 
 struct LruMap<K, V> {
     cap: usize,
+    byte_budget: Option<usize>,
     tick: u64,
-    map: HashMap<K, (V, u64)>,
+    total_bytes: usize,
+    map: HashMap<K, (V, u64, usize)>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
@@ -100,37 +112,63 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
         assert!(cap > 0, "LRU capacity must be positive");
         LruMap {
             cap,
+            byte_budget: None,
             tick: 0,
+            total_bytes: 0,
             map: HashMap::new(),
         }
+    }
+
+    /// Additionally bounds the sum of entry weights (approximate bytes).
+    fn with_byte_budget(cap: usize, bytes: usize) -> Self {
+        let mut map = Self::new(cap);
+        map.byte_budget = Some(bytes);
+        map
     }
 
     fn get(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|(v, stamp)| {
+        self.map.get_mut(key).map(|(v, stamp, _)| {
             *stamp = tick;
             v.clone()
         })
     }
 
-    /// Inserts, evicting the least-recently-used entry when full. Returns
-    /// the number of entries evicted (0 or 1).
+    /// Inserts an entry of negligible weight. Returns the eviction count.
     fn insert(&mut self, key: K, value: V) -> u64 {
+        self.insert_weighted(key, value, 0)
+    }
+
+    /// Inserts an entry of approximately `bytes` weight, evicting
+    /// least-recently-used entries until both the count cap and the byte
+    /// budget hold. A single entry heavier than the whole budget is still
+    /// admitted (after evicting everything else) — refusing it would just
+    /// rebuild it on every use. Returns the number of entries evicted.
+    fn insert_weighted(&mut self, key: K, value: V, bytes: usize) -> u64 {
         self.tick += 1;
+        if let Some((_, _, old_bytes)) = self.map.remove(&key) {
+            self.total_bytes -= old_bytes;
+        }
         let mut evicted = 0;
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            if let Some(oldest) = self
+        let over = |m: &Self| {
+            m.map.len() >= m.cap
+                || m.byte_budget
+                    .is_some_and(|budget| m.total_bytes + bytes > budget)
+        };
+        while !self.map.is_empty() && over(self) {
+            let oldest = self
                 .map
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, (_, stamp, _))| *stamp)
                 .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&oldest);
-                evicted = 1;
-            }
+                .expect("non-empty map has a stalest entry");
+            let (_, _, freed) = self.map.remove(&oldest).expect("stalest key resides in map");
+            self.total_bytes -= freed;
+            evicted += 1;
         }
-        self.map.insert(key, (value, self.tick));
+        self.total_bytes += bytes;
+        self.map.insert(key, (value, self.tick, bytes));
         evicted
     }
 }
@@ -149,6 +187,9 @@ stat_counters!(
     ROUTING_BUILDS,
     ROUTING_HITS,
     ROUTING_EVICTIONS,
+    ORACLE_BUILDS,
+    ORACLE_HITS,
+    ORACLE_EVICTIONS,
     DECOMPOSE_HITS,
     DECOMPOSE_MISSES,
     DECOMPOSE_EVICTIONS,
@@ -167,6 +208,12 @@ pub struct CacheStatsSnapshot {
     pub routing_table_hits: u64,
     /// Routing tables evicted by the LRU bound.
     pub routing_table_evictions: u64,
+    /// Sparse distance oracles built from scratch.
+    pub routing_oracles_built: u64,
+    /// Oracle registry hits (an oracle was reused).
+    pub routing_oracle_hits: u64,
+    /// Oracles evicted by the LRU bound.
+    pub routing_oracle_evictions: u64,
     /// MCT decomposition templates served from the memo.
     pub decompose_memo_hits: u64,
     /// MCT decomposition templates synthesized on a miss.
@@ -197,6 +244,15 @@ impl CacheStatsSnapshot {
             routing_table_evictions: self
                 .routing_table_evictions
                 .saturating_sub(earlier.routing_table_evictions),
+            routing_oracles_built: self
+                .routing_oracles_built
+                .saturating_sub(earlier.routing_oracles_built),
+            routing_oracle_hits: self
+                .routing_oracle_hits
+                .saturating_sub(earlier.routing_oracle_hits),
+            routing_oracle_evictions: self
+                .routing_oracle_evictions
+                .saturating_sub(earlier.routing_oracle_evictions),
             decompose_memo_hits: self
                 .decompose_memo_hits
                 .saturating_sub(earlier.decompose_memo_hits),
@@ -240,11 +296,15 @@ impl CacheStatsSnapshot {
     pub fn render(&self) -> String {
         format!(
             "cache stats:\n  routing tables: {} built, {} reused, {} evicted\n  \
+             sparse oracles: {} built, {} reused, {} evicted\n  \
              decompose memo: {} hits, {} misses ({:.0}% hit rate), {} evicted\n  \
              compile cache : {} hits, {} misses ({:.0}% hit rate), {} inserted, {} evicted",
             self.routing_tables_built,
             self.routing_table_hits,
             self.routing_table_evictions,
+            self.routing_oracles_built,
+            self.routing_oracle_hits,
+            self.routing_oracle_evictions,
             self.decompose_memo_hits,
             self.decompose_memo_misses,
             self.decompose_hit_rate() * 100.0,
@@ -265,6 +325,9 @@ pub fn stats() -> CacheStatsSnapshot {
         routing_tables_built: read(&ROUTING_BUILDS),
         routing_table_hits: read(&ROUTING_HITS),
         routing_table_evictions: read(&ROUTING_EVICTIONS),
+        routing_oracles_built: read(&ORACLE_BUILDS),
+        routing_oracle_hits: read(&ORACLE_HITS),
+        routing_oracle_evictions: read(&ORACLE_EVICTIONS),
         decompose_memo_hits: read(&DECOMPOSE_HITS),
         decompose_memo_misses: read(&DECOMPOSE_MISSES),
         decompose_memo_evictions: read(&DECOMPOSE_EVICTIONS),
@@ -317,31 +380,16 @@ impl RoutingTable {
                 routes.push(ctr_route_with(device, control, target, objective));
             }
         }
-        let mut dist_hops = vec![u32::MAX; n * n];
-        let mut next_hop = vec![NO_HOP; n * n];
+        let mut dist_hops = Vec::with_capacity(n * n);
+        let mut next_hop = Vec::with_capacity(n * n);
         for src in 0..n {
             // `distances_from` marks unreachable qubits with u32::MAX / 2;
-            // normalize to u32::MAX for an unambiguous sentinel.
-            let d = device.distances_from(src);
-            for (q, &dq) in d.iter().enumerate() {
-                dist_hops[src * n + q] = if dq >= u32::MAX / 2 { u32::MAX } else { dq };
-            }
-            // First step of a shortest path src -> q, exploring neighbors
-            // in ascending order (the BFS tie-break the CTR search uses).
-            for q in 0..n {
-                if q == src || d[q] >= u32::MAX / 2 {
-                    continue;
-                }
-                let mut cur = q;
-                while d[cur] > 1 {
-                    cur = *device
-                        .neighbors(cur)
-                        .iter()
-                        .find(|&&nb| d[nb] == d[cur] - 1)
-                        .expect("BFS distances admit a descending neighbor");
-                }
-                next_hop[src * n + q] = cur;
-            }
+            // normalize to u32::MAX for an unambiguous sentinel. The
+            // per-source rows are shared with the sparse oracle, so both
+            // paths answer identically.
+            let hops = hop_row(device, src);
+            next_hop.extend(next_hop_row(device, src, &hops));
+            dist_hops.extend(hops);
         }
         let dist_neglog = neglog_distances(device, n);
         RoutingTable {
@@ -405,36 +453,98 @@ impl RoutingTable {
             q => Some(q),
         }
     }
+
+    /// Approximate resident bytes of this table: the three dense matrices
+    /// plus every stored route's path. This is what the registry's byte
+    /// budget accounts and what the scaling bench reports.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let route_heap: usize = self
+            .routes
+            .iter()
+            .map(|r| match r {
+                Ok(route) => route.path.capacity() * size_of::<usize>(),
+                Err(_) => 0,
+            })
+            .sum();
+        size_of::<Self>()
+            + self.routes.capacity() * size_of::<Result<CtrRoute, CompileError>>()
+            + route_heap
+            + self.dist_hops.capacity() * size_of::<u32>()
+            + self.dist_neglog.capacity() * size_of::<f64>()
+            + self.next_hop.capacity() * size_of::<usize>()
+    }
 }
 
 /// All-pairs negative-log-fidelity distances over the SWAP metric
 /// (Dijkstra per source; deterministic ascending-index tie-break).
 pub(crate) fn neglog_distances(device: &Device, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n * n);
+    for src in 0..n {
+        out.extend(neglog_row(device, src));
+    }
+    out
+}
+
+/// One source's negative-log-fidelity distance row (the exact Dijkstra the
+/// dense table runs per source — the sparse oracle memoizes these rows on
+/// demand, so both paths see bit-identical values by construction).
+fn neglog_row(device: &Device, src: usize) -> Vec<f64> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut out = vec![f64::INFINITY; n * n];
-    for src in 0..n {
-        let dist = &mut out[src * n..(src + 1) * n];
-        dist[src] = 0.0;
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        let key = |d: f64, q: usize| ((d * 1e9) as u64, q);
-        heap.push(Reverse(key(0.0, src)));
-        let mut settled = vec![false; n];
-        while let Some(Reverse((_, q))) = heap.pop() {
-            if settled[q] {
-                continue;
-            }
-            settled[q] = true;
-            for &nb in device.neighbors(q) {
-                let nd = dist[q] + crate::route::swap_log_cost(device, q, nb);
-                if nd < dist[nb] {
-                    dist[nb] = nd;
-                    heap.push(Reverse(key(nd, nb)));
-                }
+    let n = device.n_qubits();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let key = |d: f64, q: usize| ((d * 1e9) as u64, q);
+    heap.push(Reverse(key(0.0, src)));
+    let mut settled = vec![false; n];
+    while let Some(Reverse((_, q))) = heap.pop() {
+        if settled[q] {
+            continue;
+        }
+        settled[q] = true;
+        for &nb in device.neighbors(q) {
+            let nd = dist[q] + crate::route::swap_log_cost(device, q, nb);
+            if nd < dist[nb] {
+                dist[nb] = nd;
+                heap.push(Reverse(key(nd, nb)));
             }
         }
     }
-    out
+    dist
+}
+
+/// One source's normalized hop-distance row (BFS, `u32::MAX` sentinel —
+/// the same normalization [`RoutingTable::build`] applies).
+fn hop_row(device: &Device, src: usize) -> Vec<u32> {
+    device
+        .distances_from(src)
+        .into_iter()
+        .map(|d| if d >= u32::MAX / 2 { u32::MAX } else { d })
+        .collect()
+}
+
+/// One source's next-hop row derived from its hop row: the first step of a
+/// shortest path `src -> q` under the ascending-neighbor tie-break (the
+/// same descent [`RoutingTable::build`] runs).
+fn next_hop_row(device: &Device, src: usize, hops: &[u32]) -> Vec<usize> {
+    let mut row = vec![NO_HOP; hops.len()];
+    for (q, slot) in row.iter_mut().enumerate() {
+        if q == src || hops[q] == u32::MAX {
+            continue;
+        }
+        let mut cur = q;
+        while hops[cur] > 1 {
+            cur = *device
+                .neighbors(cur)
+                .iter()
+                .find(|&&nb| hops[nb] == hops[cur] - 1)
+                .expect("BFS distances admit a descending neighbor");
+        }
+        *slot = cur;
+    }
+    row
 }
 
 type RoutingKey = (u128, u8);
@@ -455,19 +565,29 @@ fn objective_tag(objective: RoutingObjective) -> u8 {
     }
 }
 
+/// Approximate bytes a dense table for an `n`-qubit device will occupy,
+/// used as the LRU weight at registration time (before the build runs):
+/// three `n x n` matrices plus a short route per pair average out to
+/// roughly 64 bytes per ordered pair on the devices we generate.
+fn dense_bytes_estimate(n: usize) -> usize {
+    n * n * 64
+}
+
 /// The shared routing table for a device and objective, building it on
 /// first use. Returns the table and whether it came from the registry
 /// (`true`) or was built by this call (`false`).
 pub fn routing_table(device: &Device, objective: RoutingObjective) -> (Arc<RoutingTable>, bool) {
     let key = (device.fingerprint(), objective_tag(objective));
-    let registry = ROUTING_TABLES.get_or_init(|| Mutex::new(LruMap::new(ROUTING_TABLE_CAP)));
+    let registry = ROUTING_TABLES
+        .get_or_init(|| Mutex::new(LruMap::with_byte_budget(ROUTING_TABLE_CAP, ROUTING_BYTE_BUDGET)));
     let cell = {
         let mut map = registry.lock().expect("routing-table registry poisoned");
         match map.get(&key) {
             Some(cell) => cell,
             None => {
                 let cell: RoutingCell = Arc::new(OnceLock::new());
-                let evicted = map.insert(key, cell.clone());
+                let evicted =
+                    map.insert_weighted(key, cell.clone(), dense_bytes_estimate(device.n_qubits()));
                 ROUTING_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
                 cell
             }
@@ -488,6 +608,350 @@ pub fn routing_table(device: &Device, objective: RoutingObjective) -> (Arc<Routi
         ROUTING_HITS.fetch_add(1, Ordering::Relaxed);
     }
     (table, !built)
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1b: sparse distance oracles.
+// ---------------------------------------------------------------------------
+
+/// Number of landmark qubits a [`DistanceOracle`] precomputes (farthest-
+/// point sampling; capped at the register width).
+const ORACLE_LANDMARKS: usize = 8;
+
+/// Devices at or above this width route through the sparse
+/// [`DistanceOracle`] instead of a dense [`RoutingTable`] (see
+/// [`routing_lookup`]). Every built-in device is below the threshold, so
+/// the paper pipeline's dense fast path is unchanged.
+pub const SPARSE_ORACLE_MIN_QUBITS: usize = 128;
+
+/// Per-source memoization state of a [`DistanceOracle`].
+#[derive(Default)]
+struct OracleState {
+    hop_rows: HashMap<usize, Arc<Vec<u32>>>,
+    next_hop_rows: HashMap<usize, Arc<Vec<usize>>>,
+    neglog_rows: HashMap<usize, Arc<Vec<f64>>>,
+    routes: HashMap<(usize, usize), Result<Arc<CtrRoute>, CompileError>>,
+}
+
+/// Sparse replacement for the dense [`RoutingTable`]: answers the same
+/// `route` / `hop_distance` / `neglog_distance` / `next_hop` queries
+/// without ever materializing `n²` state.
+///
+/// Per-source shortest-path rows (BFS hops, Dijkstra negative-log-fidelity,
+/// and the derived next-hop row) are computed on first touch and memoized,
+/// and per-pair [`CtrRoute`]s run the *same* legacy search the dense table
+/// stores — so every answer is bit-identical to the table's by
+/// construction, a property the differential suite checks on every
+/// built-in device. On top of that, a handful of landmark rows
+/// (farthest-point sampled) provide ALT-style triangle-inequality lower
+/// bounds that let lookahead scoring reject candidate SWAPs without
+/// touching a fresh source row.
+///
+/// Memory is `O(landmarks · n + touched_sources · n)` instead of `O(n²)`:
+/// routing a circuit that touches `k` distinct qubits costs `O(k · n)`.
+pub struct DistanceOracle {
+    device: Device,
+    objective: RoutingObjective,
+    n: usize,
+    landmarks: Vec<usize>,
+    landmark_hops: Vec<Vec<u32>>,
+    landmark_neglog: Vec<Vec<f64>>,
+    state: Mutex<OracleState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle: landmark selection plus one BFS (and, under the
+    /// fidelity objective with characterization data, one Dijkstra) per
+    /// landmark — `O(landmarks · (V + E))`, never `O(n²)`.
+    pub fn build(device: &Device, objective: RoutingObjective) -> DistanceOracle {
+        let n = device.n_qubits();
+        // Farthest-point sampling from qubit 0: each landmark maximizes
+        // its hop distance to the chosen set (smallest index on ties),
+        // spreading the landmarks toward the graph periphery where ALT
+        // bounds are tightest.
+        let mut landmarks: Vec<usize> = Vec::new();
+        if n > 0 {
+            landmarks.push(0);
+            while landmarks.len() < ORACLE_LANDMARKS.min(n) {
+                let dist = device.distances_from_set(&landmarks);
+                let next = (0..n)
+                    .filter(|q| !landmarks.contains(q))
+                    .max_by_key(|&q| (dist[q].min(u32::MAX / 2 - 1), std::cmp::Reverse(q)));
+                match next {
+                    Some(q) if dist[q] > 0 => landmarks.push(q),
+                    _ => break,
+                }
+            }
+        }
+        let landmark_hops: Vec<Vec<u32>> =
+            landmarks.iter().map(|&l| device.distances_from(l)).collect();
+        let landmark_neglog: Vec<Vec<f64>> =
+            if objective == RoutingObjective::HighestFidelity && device.has_error_data() {
+                landmarks.iter().map(|&l| neglog_row(device, l)).collect()
+            } else {
+                Vec::new()
+            };
+        DistanceOracle {
+            device: device.clone(),
+            objective,
+            n,
+            landmarks,
+            landmark_hops,
+            landmark_neglog,
+            state: Mutex::new(OracleState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Register width the oracle serves.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The objective per-pair routes minimize.
+    pub fn objective(&self) -> RoutingObjective {
+        self.objective
+    }
+
+    /// The landmark qubits backing the ALT lower bounds.
+    pub fn landmarks(&self) -> &[usize] {
+        &self.landmarks
+    }
+
+    /// Memoized-answer reuses since construction.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fresh computations (rows or routes) since construction.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn hop_row_for(&self, src: usize) -> Arc<Vec<u32>> {
+        let mut state = self.state.lock().expect("oracle state poisoned");
+        if let Some(row) = state.hop_rows.get(&src) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return row.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let row = Arc::new(hop_row(&self.device, src));
+        state.hop_rows.insert(src, row.clone());
+        row
+    }
+
+    fn neglog_row_for(&self, src: usize) -> Arc<Vec<f64>> {
+        let mut state = self.state.lock().expect("oracle state poisoned");
+        if let Some(row) = state.neglog_rows.get(&src) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return row.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let row = Arc::new(neglog_row(&self.device, src));
+        state.neglog_rows.insert(src, row.clone());
+        row
+    }
+
+    /// The exact CTR route the legacy per-gate search (and hence the dense
+    /// table) produces for this ordered pair, memoized per pair.
+    ///
+    /// # Errors
+    ///
+    /// The [`CompileError`] of the legacy search, cloned.
+    pub fn route(&self, control: usize, target: usize) -> Result<Arc<CtrRoute>, CompileError> {
+        {
+            let state = self.state.lock().expect("oracle state poisoned");
+            if let Some(cached) = state.routes.get(&(control, target)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return cached.clone();
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        // The search runs outside the lock (it can be O(V) on big maps).
+        let result = ctr_route_with(&self.device, control, target, self.objective).map(Arc::new);
+        let mut state = self.state.lock().expect("oracle state poisoned");
+        state.routes.insert((control, target), result.clone());
+        result
+    }
+
+    /// Undirected hop-count distance, or `None` when disconnected —
+    /// identical to [`RoutingTable::hop_distance`].
+    pub fn hop_distance(&self, a: usize, b: usize) -> Option<u32> {
+        match self.hop_row_for(a)[b] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// Negative-log-fidelity SWAP-path distance, or `None` when
+    /// disconnected — identical to [`RoutingTable::neglog_distance`].
+    pub fn neglog_distance(&self, a: usize, b: usize) -> Option<f64> {
+        let d = self.neglog_row_for(a)[b];
+        d.is_finite().then_some(d)
+    }
+
+    /// First step of a shortest hop path `a -> b` (ascending-neighbor
+    /// tie-break) — identical to [`RoutingTable::next_hop`].
+    pub fn next_hop(&self, a: usize, b: usize) -> Option<usize> {
+        let row = {
+            let state = self.state.lock().expect("oracle state poisoned");
+            match state.next_hop_rows.get(&a) {
+                Some(row) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    row.clone()
+                }
+                None => {
+                    drop(state);
+                    let hops = self.hop_row_for(a);
+                    let row = Arc::new(next_hop_row(&self.device, a, &hops));
+                    let mut state = self.state.lock().expect("oracle state poisoned");
+                    state.next_hop_rows.insert(a, row.clone());
+                    row
+                }
+            }
+        };
+        match row[b] {
+            NO_HOP => None,
+            q => Some(q),
+        }
+    }
+
+    /// ALT triangle-inequality lower bound on the hop distance `a -> b`:
+    /// `max_L |d(L, a) - d(L, b)|`. Always `<=` the true distance, so a
+    /// candidate whose bound already exceeds a known score can be rejected
+    /// without materializing a fresh BFS row.
+    pub fn hop_lower_bound(&self, a: usize, b: usize) -> u32 {
+        self.landmark_hops
+            .iter()
+            .map(|row| {
+                let (da, db) = (row[a], row[b]);
+                match (da < u32::MAX / 2, db < u32::MAX / 2) {
+                    (true, true) => da.abs_diff(db),
+                    (false, false) => 0,
+                    _ => u32::MAX, // one side unreachable: truly infinite
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// ALT lower bound in the negative-log-fidelity metric, or `None` when
+    /// the oracle carries no fidelity landmark rows (swap metric unused).
+    ///
+    /// The SWAP metric is a *quasi*-metric (orientation surcharges make
+    /// `cost(a, b) != cost(b, a)`), so only the one-sided triangle bound
+    /// `d(a, b) >= d(L, b) - d(L, a)` is valid — never the absolute
+    /// difference the symmetric hop bound uses.
+    pub fn neglog_lower_bound(&self, a: usize, b: usize) -> Option<f64> {
+        if self.landmark_neglog.is_empty() {
+            return None;
+        }
+        let mut best = 0.0f64;
+        for row in &self.landmark_neglog {
+            let (da, db) = (row[a], row[b]);
+            let bound = match (da.is_finite(), db.is_finite()) {
+                (true, true) => (db - da).max(0.0),
+                // b unreachable from L while a is: a -> b is disconnected.
+                (true, false) => f64::INFINITY,
+                _ => 0.0,
+            };
+            best = best.max(bound);
+        }
+        Some(best)
+    }
+
+    /// Approximate resident bytes: landmark rows plus every memoized
+    /// per-source row and per-pair route currently held.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let state = self.state.lock().expect("oracle state poisoned");
+        size_of::<Self>()
+            + self.landmark_hops.len() * self.n * size_of::<u32>()
+            + self.landmark_neglog.len() * self.n * size_of::<f64>()
+            + state.hop_rows.len() * self.n * size_of::<u32>()
+            + state.next_hop_rows.len() * self.n * size_of::<usize>()
+            + state.neglog_rows.len() * self.n * size_of::<f64>()
+            + state
+                .routes
+                .values()
+                .map(|r| match r {
+                    Ok(route) => size_of::<CtrRoute>() + route.path.capacity() * size_of::<usize>(),
+                    Err(_) => size_of::<CompileError>(),
+                })
+                .sum::<usize>()
+    }
+}
+
+type OracleCell = Arc<OnceLock<Arc<DistanceOracle>>>;
+
+static ROUTING_ORACLES: OnceLock<Mutex<LruMap<RoutingKey, OracleCell>>> = OnceLock::new();
+
+/// Approximate LRU weight of an oracle at registration time: the landmark
+/// rows it builds eagerly (memoized rows grow it later; the estimate is
+/// deliberately the floor, not the ceiling).
+fn oracle_bytes_estimate(n: usize) -> usize {
+    ORACLE_LANDMARKS * n * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>()) + 4096
+}
+
+/// The shared sparse oracle for a device and objective, building it on
+/// first use. Returns the oracle and whether it was reused from the
+/// registry (`true`) or built by this call (`false`).
+pub fn routing_oracle(device: &Device, objective: RoutingObjective) -> (Arc<DistanceOracle>, bool) {
+    let key = (device.fingerprint(), objective_tag(objective));
+    let registry = ROUTING_ORACLES
+        .get_or_init(|| Mutex::new(LruMap::with_byte_budget(ROUTING_TABLE_CAP, ROUTING_BYTE_BUDGET)));
+    let cell = {
+        let mut map = registry.lock().expect("oracle registry poisoned");
+        match map.get(&key) {
+            Some(cell) => cell,
+            None => {
+                let cell: OracleCell = Arc::new(OnceLock::new());
+                let evicted =
+                    map.insert_weighted(key, cell.clone(), oracle_bytes_estimate(device.n_qubits()));
+                ORACLE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+                cell
+            }
+        }
+    };
+    let mut built = false;
+    let oracle = cell
+        .get_or_init(|| {
+            built = true;
+            ORACLE_BUILDS.fetch_add(1, Ordering::Relaxed);
+            Arc::new(DistanceOracle::build(device, objective))
+        })
+        .clone();
+    if !built {
+        ORACLE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    (oracle, !built)
+}
+
+/// Either routing backend behind one handle: the dense table (small
+/// devices) or the sparse oracle (large ones). Both answer identically;
+/// only build cost and memory differ.
+#[derive(Clone)]
+pub enum RoutingLookup {
+    /// Dense all-pairs table — `O(n²)` build, `O(1)` queries.
+    Dense(Arc<RoutingTable>),
+    /// Sparse per-source oracle — `O(landmarks · n)` build, memoized rows.
+    Sparse(Arc<DistanceOracle>),
+}
+
+/// The routing backend for a device: dense below
+/// [`SPARSE_ORACLE_MIN_QUBITS`], sparse at or above it. Returns the
+/// backend and whether it was reused from its registry.
+pub fn routing_lookup(device: &Device, objective: RoutingObjective) -> (RoutingLookup, bool) {
+    if device.n_qubits() < SPARSE_ORACLE_MIN_QUBITS {
+        let (table, reused) = routing_table(device, objective);
+        (RoutingLookup::Dense(table), reused)
+    } else {
+        let (oracle, reused) = routing_oracle(device, objective);
+        (RoutingLookup::Sparse(oracle), reused)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -636,6 +1100,126 @@ mod tests {
         // Overwriting an existing key never evicts.
         assert_eq!(lru.insert(1, 11), 0);
         assert_eq!(lru.get(&1), Some(11));
+    }
+
+    #[test]
+    fn weighted_lru_evicts_until_the_byte_budget_holds() {
+        // Count cap 8 but only 100 "bytes": three 40-byte entries never
+        // coexist, and one oversized entry flushes everything else.
+        let mut lru: LruMap<u8, u8> = LruMap::with_byte_budget(8, 100);
+        assert_eq!(lru.insert_weighted(1, 10, 40), 0);
+        assert_eq!(lru.insert_weighted(2, 20, 40), 0);
+        assert_eq!(lru.insert_weighted(3, 30, 40), 1, "120 > 100 evicts one");
+        assert_eq!(lru.get(&1), None, "1 was the stalest");
+        assert_eq!(lru.get(&2), Some(20));
+        // A single entry heavier than the whole budget is still admitted,
+        // after evicting everything resident.
+        assert_eq!(lru.insert_weighted(4, 40, 500), 2);
+        assert_eq!(lru.get(&4), Some(40));
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&3), None);
+        // Re-inserting an existing key replaces its weight, no eviction.
+        assert_eq!(lru.insert_weighted(4, 41, 90), 0);
+        assert_eq!(lru.insert_weighted(5, 50, 5), 0, "90 + 5 fits");
+        assert_eq!(lru.get(&4), Some(41));
+    }
+
+    #[test]
+    fn oracle_answers_match_the_dense_table_on_every_builtin() {
+        for d in devices::all_devices() {
+            for objective in [RoutingObjective::FewestSwaps, RoutingObjective::HighestFidelity] {
+                let table = RoutingTable::build(&d, objective);
+                let oracle = DistanceOracle::build(&d, objective);
+                let n = d.n_qubits();
+                // Sample every pair on small machines, a stride on qc96.
+                let stride = if n <= 16 { 1 } else { 7 };
+                for a in (0..n).step_by(stride) {
+                    for b in (0..n).step_by(stride) {
+                        assert_eq!(
+                            table.hop_distance(a, b),
+                            oracle.hop_distance(a, b),
+                            "{}: hop {a}->{b}",
+                            d.name()
+                        );
+                        assert_eq!(
+                            table.next_hop(a, b),
+                            oracle.next_hop(a, b),
+                            "{}: next_hop {a}->{b}",
+                            d.name()
+                        );
+                        assert_eq!(
+                            table.neglog_distance(a, b),
+                            oracle.neglog_distance(a, b),
+                            "{}: neglog {a}->{b}",
+                            d.name()
+                        );
+                        match (table.route(a, b), oracle.route(a, b)) {
+                            (Ok(x), Ok(y)) => assert_eq!(*x, *y, "{}: route {a}->{b}", d.name()),
+                            (Err(x), Err(y)) => assert_eq!(x, y, "{}: route {a}->{b}", d.name()),
+                            (x, y) => panic!("{}: {a}->{b}: {x:?} vs {y:?}", d.name()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_landmark_bounds_are_admissible() {
+        for d in [devices::qc96(), devices::ibmqx3()] {
+            let oracle = DistanceOracle::build(&d, RoutingObjective::HighestFidelity);
+            assert!(!oracle.landmarks().is_empty());
+            let n = d.n_qubits();
+            for a in 0..n {
+                for b in 0..n {
+                    let lb = oracle.hop_lower_bound(a, b);
+                    let exact = oracle.hop_distance(a, b).unwrap();
+                    assert!(lb <= exact, "{}: hop lb {lb} > {exact} for {a}->{b}", d.name());
+                }
+            }
+        }
+        // Fidelity landmark rows exist only with characterization data.
+        let plain = DistanceOracle::build(&devices::qc96(), RoutingObjective::HighestFidelity);
+        assert_eq!(plain.neglog_lower_bound(0, 5), None);
+        let calibrated = qsyn_arch::devices::lnn(64);
+        let o = DistanceOracle::build(&calibrated, RoutingObjective::HighestFidelity);
+        for a in 0..64 {
+            let lb = o.neglog_lower_bound(a, 63 - a).unwrap();
+            let exact = o.neglog_distance(a, 63 - a).unwrap_or(f64::INFINITY);
+            assert!(lb <= exact + 1e-12, "neglog lb {lb} > {exact}");
+        }
+    }
+
+    #[test]
+    fn oracle_memoizes_rows_and_counts_hits() {
+        let d = devices::ibmqx5();
+        let oracle = DistanceOracle::build(&d, RoutingObjective::FewestSwaps);
+        assert_eq!(oracle.hit_count(), 0);
+        let _ = oracle.hop_distance(3, 9);
+        let misses = oracle.miss_count();
+        assert!(misses >= 1);
+        let _ = oracle.hop_distance(3, 12); // same source row
+        assert_eq!(oracle.miss_count(), misses, "row was memoized");
+        assert!(oracle.hit_count() >= 1);
+        assert!(oracle.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn routing_lookup_picks_dense_below_the_threshold_and_sparse_above() {
+        let small = devices::qc96();
+        assert!(small.n_qubits() < SPARSE_ORACLE_MIN_QUBITS);
+        match routing_lookup(&small, RoutingObjective::FewestSwaps).0 {
+            RoutingLookup::Dense(t) => assert_eq!(t.n_qubits(), 96),
+            RoutingLookup::Sparse(_) => panic!("qc96 must stay on the dense fast path"),
+        }
+        let big = qsyn_arch::devices::lnn(SPARSE_ORACLE_MIN_QUBITS);
+        match routing_lookup(&big, RoutingObjective::FewestSwaps).0 {
+            RoutingLookup::Sparse(o) => assert_eq!(o.n_qubits(), SPARSE_ORACLE_MIN_QUBITS),
+            RoutingLookup::Dense(_) => panic!("128-qubit device must route sparsely"),
+        }
+        // Second lookup reuses the registry entry.
+        let (_, reused) = routing_lookup(&big, RoutingObjective::FewestSwaps);
+        assert!(reused);
     }
 
     #[test]

@@ -411,16 +411,39 @@ impl Compiler {
                         (c, k.swaps_inserted, k.gates_rerouted, 0, None)
                     }
                     SwapStrategy::ReturnControl => {
-                        // Precomputed all-pairs routing table, shared across
-                        // every compile targeting this (device, objective).
-                        let (table, reused) =
-                            crate::cache::routing_table(&self.device, self.routing);
-                        let (c, k) = route_bounded_via(
-                            &decomposed,
-                            &self.device,
-                            &table,
-                            self.budget.max_route_swaps,
-                        )?;
+                        // Shared routing state for this (device, objective):
+                        // the dense all-pairs table on small devices, the
+                        // sparse distance oracle at scale (identical routes
+                        // either way — both memoize the same per-pair
+                        // search).
+                        let (lookup, reused) =
+                            crate::cache::routing_lookup(&self.device, self.routing);
+                        let (c, k) = match &lookup {
+                            crate::cache::RoutingLookup::Dense(table) => route_bounded_via(
+                                &decomposed,
+                                &self.device,
+                                table,
+                                self.budget.max_route_swaps,
+                            )?,
+                            crate::cache::RoutingLookup::Sparse(oracle) => {
+                                let (h0, m0) = (oracle.hit_count(), oracle.miss_count());
+                                let out = crate::route::route_bounded_via_oracle(
+                                    &decomposed,
+                                    &self.device,
+                                    oracle,
+                                    self.budget.max_route_swaps,
+                                )?;
+                                extra_counters.push((
+                                    "oracle_hits".to_string(),
+                                    (oracle.hit_count() - h0) as f64,
+                                ));
+                                extra_counters.push((
+                                    "oracle_misses".to_string(),
+                                    (oracle.miss_count() - m0) as f64,
+                                ));
+                                out
+                            }
+                        };
                         (c, k.swaps_inserted, k.gates_rerouted, 0, Some(reused))
                     }
                     SwapStrategy::PersistentLayout => {
@@ -452,19 +475,36 @@ impl Compiler {
                 let mut req = RouteRequest::new(&decomposed, &self.device)
                     .with_objective(self.routing)
                     .with_max_swaps(self.budget.max_route_swaps);
+                let mut oracle_used = None;
                 let reused = if self.cache == CacheMode::Off {
                     None
                 } else {
-                    let (table, reused) =
-                        crate::cache::routing_table(&self.device, self.routing);
-                    req = req.with_table(table);
+                    let (lookup, reused) =
+                        crate::cache::routing_lookup(&self.device, self.routing);
+                    match lookup {
+                        crate::cache::RoutingLookup::Dense(table) => {
+                            req = req.with_table(table);
+                        }
+                        crate::cache::RoutingLookup::Sparse(oracle) => {
+                            oracle_used = Some(oracle.clone());
+                            req = req.with_oracle(oracle);
+                        }
+                    }
                     Some(reused)
                 };
+                let baseline =
+                    oracle_used.as_ref().map(|o| (o.hit_count(), o.miss_count()));
                 if let Some(sink) = &self.trace {
                     req = req.with_trace(sink.clone());
                 }
                 let outcome = resolved.instance().route(&req)?;
                 extra_counters = outcome.extra;
+                if let (Some(o), Some((h0, m0))) = (&oracle_used, baseline) {
+                    extra_counters
+                        .push(("oracle_hits".to_string(), (o.hit_count() - h0) as f64));
+                    extra_counters
+                        .push(("oracle_misses".to_string(), (o.miss_count() - m0) as f64));
+                }
                 (
                     outcome.circuit,
                     outcome.swaps_inserted,
@@ -573,6 +613,236 @@ impl Compiler {
             }
         }
         Ok(result)
+    }
+
+    /// Streaming compilation: maps a gate stream window by window, keeping
+    /// only one bounded window of the circuit resident at a time, so a
+    /// million-gate input on a thousand-qubit device compiles in
+    /// near-constant memory.
+    ///
+    /// Gates are buffered into windows of at most `window` input gates;
+    /// each window runs the decompose → route → optimize stages and is
+    /// handed to `emit` gate by gate. Every built-in strategy returns the
+    /// layout to identity at its window boundary (CTR restores per gate,
+    /// the lookahead family appends one restoration network), so the
+    /// emitted windows concatenate into a circuit equivalent to the input
+    /// stream. Placement is always identity — a streaming compile never
+    /// sees the whole circuit, so there is nothing to place against — and
+    /// the [`SwapStrategy`] knob does not apply (windows route through the
+    /// strategy trait).
+    ///
+    /// Verification is windowed: each window's output is checked against
+    /// its own specification with the interleaved miter under the
+    /// compiler's [`CompileBudget`] node budget (window equivalence
+    /// composes to whole-stream equivalence). Under
+    /// [`VerifyMode::Degrade`] an exhausted window is counted in
+    /// [`StreamSummary::unverified_windows`] instead of aborting; under
+    /// [`VerifyMode::Strict`] it is a hard
+    /// [`CompileError::BudgetExceeded`]. The per-window SWAP cap is
+    /// [`CompileBudget::max_route_swaps`].
+    ///
+    /// When a trace sink is configured, one aggregate route event is
+    /// emitted at the end of the stream carrying the streaming counters
+    /// (`windows`, `window_gates_cap`, `max_window_swaps`,
+    /// `oracle_hits`/`oracle_misses`, `verified_windows`,
+    /// `unverified_windows`, `peak_resident_gates`) that
+    /// `qsyn check-trace` validates.
+    ///
+    /// # Errors
+    ///
+    /// The same pipeline errors as [`Compiler::compile`], surfaced at the
+    /// window that triggers them; additionally
+    /// [`CompileError::VerificationFailed`] if any window's miter check
+    /// rejects (a compiler defect, never expected).
+    pub fn compile_stream<I>(
+        &self,
+        n_qubits: usize,
+        window: usize,
+        gates: I,
+        mut emit: impl FnMut(&qsyn_gate::Gate),
+    ) -> Result<StreamSummary, CompileError>
+    where
+        I: IntoIterator<Item = qsyn_gate::Gate>,
+    {
+        if n_qubits > self.device.n_qubits() {
+            return Err(CompileError::TooWide {
+                needed: n_qubits,
+                available: self.device.n_qubits(),
+            });
+        }
+        let started = std::time::Instant::now();
+        let window = window.max(1);
+        let resolved = self.strategy.resolve(self.cost.route_hint());
+        let lookup = (self.cache != CacheMode::Off)
+            .then(|| crate::cache::routing_lookup(&self.device, self.routing).0);
+        let oracle = match &lookup {
+            Some(crate::cache::RoutingLookup::Sparse(o)) => Some(o.clone()),
+            _ => None,
+        };
+        let baseline = oracle.as_ref().map(|o| (o.hit_count(), o.miss_count()));
+        let verify = !matches!(self.effective_verification(), Verification::None);
+
+        let mut acc = StreamSummary {
+            windows: 0,
+            window_gates: window,
+            gates_in: 0,
+            gates_out: 0,
+            swaps_inserted: 0,
+            max_window_swaps: 0,
+            verified_windows: 0,
+            unverified_windows: 0,
+            peak_resident_gates: 0,
+            oracle_hits: 0,
+            oracle_misses: 0,
+            verdict: Verdict::Skipped,
+            total_seconds: 0.0,
+        };
+        let mut buf = Circuit::new(self.device.n_qubits());
+        for g in gates {
+            acc.gates_in += 1;
+            buf.push(g);
+            if buf.gates().len() >= window {
+                self.check_deadline(started, Pass::Route)?;
+                self.stream_flush(&buf, resolved, lookup.as_ref(), verify, &mut acc, &mut emit)?;
+                buf = Circuit::new(self.device.n_qubits());
+            }
+        }
+        if !buf.gates().is_empty() {
+            self.check_deadline(started, Pass::Route)?;
+            self.stream_flush(&buf, resolved, lookup.as_ref(), verify, &mut acc, &mut emit)?;
+        }
+
+        if let (Some(o), Some((h0, m0))) = (&oracle, baseline) {
+            acc.oracle_hits = o.hit_count() - h0;
+            acc.oracle_misses = o.miss_count() - m0;
+        }
+        acc.verdict = if !verify {
+            Verdict::Skipped
+        } else if acc.unverified_windows == 0 {
+            Verdict::Verified {
+                method: "windowed-miter".to_string(),
+            }
+        } else {
+            Verdict::Unverified {
+                reason: format!(
+                    "{} of {} window(s) exhausted the QMDD node budget",
+                    acc.unverified_windows, acc.windows
+                ),
+            }
+        };
+        acc.total_seconds = started.elapsed().as_secs_f64();
+
+        if let Some(sink) = &self.trace {
+            let span = Span::begin(Pass::Route);
+            let empty = StageSnapshot::of(&Circuit::new(self.device.n_qubits()));
+            // Counter names come from `qsyn_trace::streaming` so the
+            // emitter and `check-trace`'s validator cannot drift apart.
+            use qsyn_trace::streaming as sc;
+            let mut e = self.finish(span, empty, empty, |s| {
+                s.counter(sc::STREAMING, 1.0);
+                s.counter(sc::WINDOWS, acc.windows as f64);
+                s.counter(sc::WINDOW_GATES_CAP, acc.window_gates as f64);
+                s.counter(sc::SWAPS_INSERTED, acc.swaps_inserted as f64);
+                s.counter(sc::MAX_WINDOW_SWAPS, acc.max_window_swaps as f64);
+                if let Some(cap) = self.budget.max_route_swaps {
+                    s.counter(sc::WINDOW_SWAP_CAP, cap as f64);
+                }
+                if oracle.is_some() {
+                    s.counter(sc::ORACLE_HITS, acc.oracle_hits as f64);
+                    s.counter(sc::ORACLE_MISSES, acc.oracle_misses as f64);
+                }
+                s.counter(sc::VERIFIED_WINDOWS, acc.verified_windows as f64);
+                s.counter(sc::UNVERIFIED_WINDOWS, acc.unverified_windows as f64);
+                s.counter(sc::PEAK_RESIDENT_GATES, acc.peak_resident_gates as f64);
+            });
+            e.job = self.job;
+            sink.record(&e);
+            sink.flush();
+        }
+        Ok(acc)
+    }
+
+    /// Runs one streaming window through decompose → route → optimize →
+    /// windowed miter verification and hands the output to `emit`.
+    fn stream_flush(
+        &self,
+        buf: &Circuit,
+        resolved: RouteStrategyKind,
+        lookup: Option<&crate::cache::RoutingLookup>,
+        verify: bool,
+        acc: &mut StreamSummary,
+        emit: &mut dyn FnMut(&qsyn_gate::Gate),
+    ) -> Result<(), CompileError> {
+        acc.windows += 1;
+        let decomposed = if self.cache == CacheMode::Off {
+            decompose_circuit_with(buf, Some(&self.device), self.decompose)?
+        } else {
+            decompose_circuit_memo(buf, Some(&self.device), self.decompose)?.0
+        };
+        let mut req = RouteRequest::new(&decomposed, &self.device)
+            .with_objective(self.routing)
+            .with_max_swaps(self.budget.max_route_swaps);
+        match lookup {
+            Some(crate::cache::RoutingLookup::Dense(table)) => {
+                req = req.with_table(table.clone());
+            }
+            Some(crate::cache::RoutingLookup::Sparse(oracle)) => {
+                req = req.with_oracle(oracle.clone());
+            }
+            None => {}
+        }
+        let outcome = resolved.instance().route(&req)?;
+        let window_swaps = outcome.total_swaps();
+        acc.swaps_inserted += window_swaps;
+        acc.max_window_swaps = acc.max_window_swaps.max(window_swaps);
+        let optimized = match self.optimization.config() {
+            Some(cfg) => {
+                optimize_bounded(
+                    &outcome.circuit,
+                    Some(&self.device),
+                    self.cost.as_ref(),
+                    cfg,
+                    self.budget.max_optimize_rounds,
+                )
+                .0
+            }
+            None => outcome.circuit,
+        };
+        acc.peak_resident_gates = acc
+            .peak_resident_gates
+            .max(buf.gates().len())
+            .max(decomposed.gates().len())
+            .max(optimized.gates().len());
+        if verify {
+            // Jump straight to the ladder's forced-GC rung: under a node
+            // budget the default watermark (far above any sane window
+            // budget) would let the arena latch the budget before a single
+            // collection ran, even when the live set is tiny.
+            let budget = EquivBudget {
+                gc_threshold: self.budget.qmdd_node_budget.map(|n| (n / 2).max(2)),
+                node_budget: self.budget.qmdd_node_budget,
+            };
+            match try_equivalent_miter(buf, &optimized, budget) {
+                Ok(report) if report.equivalent => acc.verified_windows += 1,
+                Ok(_) => return Err(CompileError::VerificationFailed),
+                Err(e) => match self.budget.verify_mode {
+                    VerifyMode::Strict => {
+                        return Err(CompileError::BudgetExceeded {
+                            pass: Pass::Verify,
+                            resource: BudgetResource::QmddNodes,
+                            limit: e.limit as u64,
+                            used: e.used as u64,
+                        })
+                    }
+                    VerifyMode::Degrade => acc.unverified_windows += 1,
+                },
+            }
+        }
+        for g in optimized.gates() {
+            acc.gates_out += 1;
+            emit(g);
+        }
+        Ok(())
     }
 
     /// Structural key of one compile request: every input the pipeline's
@@ -837,6 +1107,46 @@ impl Compiler {
             other => other,
         }
     }
+}
+
+/// Aggregate counters of one [`Compiler::compile_stream`] run — the
+/// streaming counterpart of [`CompileResult`], sized O(1) regardless of
+/// stream length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Windows processed (the last one may be short).
+    pub windows: usize,
+    /// The configured per-window input-gate cap.
+    pub window_gates: usize,
+    /// Input gates consumed from the stream.
+    pub gates_in: usize,
+    /// Output gates handed to the emit callback.
+    pub gates_out: usize,
+    /// Adjacent SWAPs inserted across all windows (including per-window
+    /// restoration networks).
+    pub swaps_inserted: usize,
+    /// The most SWAPs any single window needed — compare against the
+    /// per-window [`CompileBudget::max_route_swaps`] cap.
+    pub max_window_swaps: usize,
+    /// Windows whose miter check completed and passed.
+    pub verified_windows: usize,
+    /// Windows whose miter check exhausted the node budget under
+    /// [`VerifyMode::Degrade`].
+    pub unverified_windows: usize,
+    /// The largest number of gates resident at once in any pipeline stage
+    /// — the streaming memory bound, independent of stream length.
+    pub peak_resident_gates: usize,
+    /// Sparse-oracle memoized-answer hits during routing (zero on dense
+    /// small-device compiles).
+    pub oracle_hits: u64,
+    /// Sparse-oracle misses (rows or routes computed fresh).
+    pub oracle_misses: u64,
+    /// The aggregate verdict: `Verified { "windowed-miter" }` when every
+    /// window checked out, `Unverified` when any window degraded,
+    /// `Skipped` under [`Verification::None`].
+    pub verdict: Verdict,
+    /// Wall-clock seconds for the whole stream.
+    pub total_seconds: f64,
 }
 
 /// Everything the pipeline produced for one input circuit.
@@ -1478,6 +1788,145 @@ mod tests {
             *r.verdict(),
             qsyn_trace::Verdict::Verified {
                 method: "miter".into()
+            }
+        );
+    }
+
+    #[test]
+    fn streaming_matches_the_batch_routed_circuit() {
+        // With optimization off, CTR routes every gate independently, so
+        // window boundaries cannot change the output: the streamed windows
+        // concatenate to exactly the batch compiler's unoptimized mapping.
+        let mut spec = Circuit::new(5).with_name("stream");
+        spec.push(Gate::toffoli(0, 2, 4));
+        spec.push(Gate::cx(4, 0));
+        spec.push(Gate::h(1));
+        spec.push(Gate::cx(0, 4));
+        spec.push(Gate::t(2));
+        let compiler = Compiler::new(devices::ibmqx4()).with_optimization(false);
+        let batch = compiler.compile(&spec).unwrap();
+        for window in [1, 2, 3, 100] {
+            let mut streamed = Circuit::new(5);
+            let summary = compiler
+                .compile_stream(5, window, spec.gates().iter().cloned(), |g| {
+                    streamed.push(g.clone())
+                })
+                .unwrap();
+            assert_eq!(
+                streamed.gates(),
+                batch.unoptimized.gates(),
+                "window={window}"
+            );
+            assert_eq!(summary.gates_in, spec.gates().len());
+            assert_eq!(summary.gates_out, streamed.gates().len());
+            assert_eq!(summary.windows, spec.gates().len().div_ceil(window));
+            assert_eq!(summary.verified_windows, summary.windows);
+            assert_eq!(summary.unverified_windows, 0);
+            assert_eq!(
+                summary.verdict,
+                Verdict::Verified {
+                    method: "windowed-miter".into()
+                }
+            );
+            assert!(summary.peak_resident_gates <= streamed.gates().len());
+            if window == 1 {
+                // Bounded residency: a one-gate window never holds the
+                // whole output.
+                assert!(summary.peak_resident_gates < streamed.gates().len());
+            }
+            assert!(qsyn_qmdd::circuits_equal(&spec, &streamed), "window={window}");
+        }
+    }
+
+    #[test]
+    fn streaming_stays_equivalent_with_optimization_on() {
+        let mut spec = Circuit::new(4).with_name("stream-opt");
+        spec.push(Gate::toffoli(0, 1, 3));
+        spec.push(Gate::cx(3, 0));
+        spec.push(Gate::cx(3, 0));
+        spec.push(Gate::h(2));
+        let mut streamed = Circuit::new(4);
+        let summary = Compiler::new(devices::ibmqx5())
+            .compile_stream(4, 2, spec.gates().iter().cloned(), |g| {
+                streamed.push(g.clone())
+            })
+            .unwrap();
+        assert!(qsyn_qmdd::circuits_equal(&spec, &streamed));
+        assert_eq!(summary.unverified_windows, 0);
+    }
+
+    #[test]
+    fn streaming_tiny_node_budget_degrades_or_aborts() {
+        let spec = toffoli_spec();
+        let degrade = Compiler::new(devices::ibmqx4())
+            .with_budget(CompileBudget::default().with_node_budget(2))
+            .compile_stream(3, 2, spec.gates().iter().cloned(), |_| {})
+            .unwrap();
+        assert!(degrade.unverified_windows > 0);
+        assert!(degrade.verdict.is_unverified(), "{:?}", degrade.verdict);
+        let strict = Compiler::new(devices::ibmqx4())
+            .with_budget(
+                CompileBudget::default()
+                    .with_node_budget(2)
+                    .with_verify_mode(VerifyMode::Strict),
+            )
+            .compile_stream(3, 2, spec.gates().iter().cloned(), |_| {});
+        assert!(
+            matches!(
+                strict,
+                Err(CompileError::BudgetExceeded {
+                    pass: Pass::Verify,
+                    resource: BudgetResource::QmddNodes,
+                    ..
+                })
+            ),
+            "{strict:?}"
+        );
+    }
+
+    #[test]
+    fn streaming_emits_the_aggregate_route_event() {
+        let mut spec = Circuit::new(5);
+        spec.push(Gate::cx(0, 4));
+        spec.push(Gate::cx(4, 0));
+        let sink = Arc::new(qsyn_trace::TableSink::new());
+        let summary = Compiler::new(devices::ibmqx4())
+            .with_trace(sink.clone())
+            .with_job_id(11)
+            .with_budget(CompileBudget::default().with_max_route_swaps(64))
+            .compile_stream(5, 1, spec.gates().iter().cloned(), |_| {})
+            .unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.pass, Pass::Route);
+        assert_eq!(e.job, Some(11));
+        assert_eq!(e.counter("streaming"), Some(1.0));
+        assert_eq!(e.counter("windows"), Some(summary.windows as f64));
+        assert_eq!(e.counter("window_gates_cap"), Some(1.0));
+        assert_eq!(e.counter("window_swap_cap"), Some(64.0));
+        assert_eq!(
+            e.counter("max_window_swaps"),
+            Some(summary.max_window_swaps as f64)
+        );
+        assert_eq!(
+            e.counter("verified_windows"),
+            Some(summary.verified_windows as f64)
+        );
+        assert_eq!(e.counter("unverified_windows"), Some(0.0));
+        assert!(e.counter("peak_resident_gates").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn streaming_too_wide_is_rejected() {
+        let err = Compiler::new(devices::ibmqx2())
+            .compile_stream(6, 4, std::iter::empty(), |_| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::TooWide {
+                needed: 6,
+                available: 5
             }
         );
     }

@@ -49,10 +49,13 @@ pub mod sk;
 pub mod strategy;
 
 pub use budget::{BudgetResource, CompileBudget, VerifyMode};
-pub use cache::{routing_table, CacheMode, CacheStatsSnapshot, RoutingTable};
+pub use cache::{
+    routing_lookup, routing_oracle, routing_table, CacheMode, CacheStatsSnapshot, DistanceOracle,
+    RoutingLookup, RoutingTable, SPARSE_ORACLE_MIN_QUBITS,
+};
 #[cfg(feature = "fault-injection")]
 pub use budget::{FaultKind, FaultSpec};
-pub use compiler::{CompileResult, Compiler, Optimization, Verification};
+pub use compiler::{CompileResult, Compiler, Optimization, StreamSummary, Verification};
 pub use error::CompileError;
 pub use decompose::{
     decompose_circuit, decompose_circuit_for, decompose_circuit_with, mct_decompose,

@@ -469,6 +469,22 @@ pub(crate) fn route_bounded_via(
     })
 }
 
+/// CTR routing against a sparse [`DistanceOracle`](crate::cache::DistanceOracle):
+/// per-pair routes are searched on first touch and memoized, so no `n²`
+/// table is ever materialized. Byte-identical to [`route_bounded_via`]
+/// because the oracle memoizes the very same per-pair search.
+pub(crate) fn route_bounded_via_oracle(
+    circuit: &Circuit,
+    device: &Device,
+    oracle: &crate::cache::DistanceOracle,
+    max_swaps: Option<usize>,
+) -> Result<(Circuit, RouteCounters), CompileError> {
+    debug_assert_eq!(oracle.n_qubits(), device.n_qubits(), "oracle/device mismatch");
+    route_circuit_bounded_impl(circuit, device, max_swaps, |control, target| {
+        oracle.route(control, target)
+    })
+}
+
 /// Deprecated compatibility alias for the pre-strategy bounded router.
 ///
 /// # Errors

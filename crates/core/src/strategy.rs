@@ -29,7 +29,7 @@
 //!   with `auto` resolved from the cost model's
 //!   [`RouteHint`].
 
-use crate::cache::RoutingTable;
+use crate::cache::{DistanceOracle, RoutingTable};
 use crate::error::CompileError;
 use crate::remap::{restoration_swaps, Layout};
 use crate::route::{
@@ -62,6 +62,13 @@ pub struct RouteRequest<'a> {
     /// when caching is on. `None` makes strategies recompute distances
     /// locally (the `CacheMode::Off` differential path).
     pub table: Option<Arc<RoutingTable>>,
+    /// The shared sparse [`DistanceOracle`] for `(device, objective)`,
+    /// the large-device alternative to `table`: distances are answered
+    /// from memoized per-source rows instead of a dense matrix. When both
+    /// a table and an oracle are set the oracle wins (the compiler sets
+    /// exactly one, per the [`routing_lookup`](crate::routing_lookup)
+    /// size threshold).
+    pub oracle: Option<Arc<DistanceOracle>>,
     /// An optional sink for fine-grained strategy events. The compiler
     /// emits the per-pass route event itself; strategies may additionally
     /// stream their own diagnostics here (the built-in strategies
@@ -79,6 +86,7 @@ impl<'a> RouteRequest<'a> {
             objective: RoutingObjective::FewestSwaps,
             max_swaps: None,
             table: None,
+            oracle: None,
             trace: None,
         }
     }
@@ -98,6 +106,13 @@ impl<'a> RouteRequest<'a> {
     /// Routes through a shared precomputed [`RoutingTable`].
     pub fn with_table(mut self, table: Arc<RoutingTable>) -> Self {
         self.table = Some(table);
+        self
+    }
+
+    /// Routes through a shared sparse [`DistanceOracle`] (the large-device
+    /// counterpart of [`with_table`](Self::with_table)).
+    pub fn with_oracle(mut self, oracle: Arc<DistanceOracle>) -> Self {
+        self.oracle = Some(oracle);
         self
     }
 
@@ -185,19 +200,22 @@ impl RoutingStrategy for CtrStrategy {
     }
 
     fn route(&self, req: &RouteRequest<'_>) -> Result<RouteOutcome, CompileError> {
-        let (circuit, k) = match &req.table {
-            Some(table) => crate::route::route_bounded_via(
+        let (circuit, k) = if let Some(oracle) = &req.oracle {
+            crate::route::route_bounded_via_oracle(
                 req.circuit,
                 req.device,
-                table,
+                oracle,
                 req.max_swaps,
-            )?,
-            None => crate::route::route_bounded_uncached(
+            )?
+        } else if let Some(table) = &req.table {
+            crate::route::route_bounded_via(req.circuit, req.device, table, req.max_swaps)?
+        } else {
+            crate::route::route_bounded_uncached(
                 req.circuit,
                 req.device,
                 req.objective,
                 req.max_swaps,
-            )?,
+            )?
         };
         Ok(RouteOutcome::of(circuit, k.swaps_inserted, k.gates_rerouted, 0))
     }
@@ -223,11 +241,13 @@ struct DistanceField {
 
 enum HopSource {
     Table(Arc<RoutingTable>),
+    Oracle(Arc<DistanceOracle>),
     Local(Vec<u32>),
 }
 
 enum NeglogSource {
     Table(Arc<RoutingTable>),
+    Oracle(Arc<DistanceOracle>),
     Local(Vec<f64>),
 }
 
@@ -236,13 +256,15 @@ impl DistanceField {
         device: &Device,
         objective: RoutingObjective,
         table: Option<&Arc<RoutingTable>>,
+        oracle: Option<&Arc<DistanceOracle>>,
     ) -> Self {
         let n = device.n_qubits();
         let fidelity =
             objective == RoutingObjective::HighestFidelity && device.has_error_data();
-        let hops = match table {
-            Some(t) => HopSource::Table(t.clone()),
-            None => {
+        let hops = match (oracle, table) {
+            (Some(o), _) => HopSource::Oracle(o.clone()),
+            (None, Some(t)) => HopSource::Table(t.clone()),
+            (None, None) => {
                 let mut m = vec![u32::MAX; n * n];
                 for src in 0..n {
                     for (q, &d) in device.distances_from(src).iter().enumerate() {
@@ -252,9 +274,10 @@ impl DistanceField {
                 HopSource::Local(m)
             }
         };
-        let neglog = fidelity.then(|| match table {
-            Some(t) => NeglogSource::Table(t.clone()),
-            None => NeglogSource::Local(crate::cache::neglog_distances(device, n)),
+        let neglog = fidelity.then(|| match (oracle, table) {
+            (Some(o), _) => NeglogSource::Oracle(o.clone()),
+            (None, Some(t)) => NeglogSource::Table(t.clone()),
+            (None, None) => NeglogSource::Local(crate::cache::neglog_distances(device, n)),
         });
         DistanceField { n, hops, neglog }
     }
@@ -262,6 +285,7 @@ impl DistanceField {
     fn hop(&self, a: usize, b: usize) -> Option<u32> {
         match &self.hops {
             HopSource::Table(t) => t.hop_distance(a, b),
+            HopSource::Oracle(o) => o.hop_distance(a, b),
             HopSource::Local(m) => match m[a * self.n + b] {
                 u32::MAX => None,
                 d => Some(d),
@@ -273,11 +297,28 @@ impl DistanceField {
     fn dist(&self, a: usize, b: usize) -> Option<f64> {
         match &self.neglog {
             Some(NeglogSource::Table(t)) => t.neglog_distance(a, b),
+            Some(NeglogSource::Oracle(o)) => o.neglog_distance(a, b),
             Some(NeglogSource::Local(m)) => {
                 let d = m[a * self.n + b];
                 d.is_finite().then_some(d)
             }
             None => self.hop(a, b).map(f64::from),
+        }
+    }
+
+    /// An ALT (landmark) lower bound on `dist(a, b)` under the active
+    /// metric, cheap to evaluate (no per-source row is materialized). Only
+    /// oracle-backed fields can bound; the others return `0.0`, which is
+    /// trivially admissible and disables pruning.
+    fn lower_bound(&self, a: usize, b: usize) -> f64 {
+        match (&self.neglog, &self.hops) {
+            (Some(NeglogSource::Oracle(o)), _) => o.neglog_lower_bound(a, b).unwrap_or(0.0),
+            (Some(_), _) => 0.0,
+            (None, HopSource::Oracle(o)) => match o.hop_lower_bound(a, b) {
+                u32::MAX => f64::INFINITY,
+                lb => f64::from(lb),
+            },
+            (None, _) => 0.0,
         }
     }
 }
@@ -333,7 +374,12 @@ impl RoutingStrategy for LookaheadStrategy {
     fn route(&self, req: &RouteRequest<'_>) -> Result<RouteOutcome, CompileError> {
         let device = req.device;
         let n = device.n_qubits();
-        let field = DistanceField::build(device, req.objective, req.table.as_ref());
+        let field = DistanceField::build(
+            device,
+            req.objective,
+            req.table.as_ref(),
+            req.oracle.as_ref(),
+        );
 
         // The logical operand pairs of every two-qubit gate, in order; the
         // scoring window walks this list past the front gate.
@@ -490,6 +536,19 @@ impl LookaheadStrategy {
                     q
                 }
             };
+            // ALT pruning (oracle-backed fields only): the exact score is
+            // `dist(front after swap) + Σ decay^k·dist(future_k) ≥
+            // lower_bound(front after swap)` because every term is
+            // non-negative, so a landmark bound *strictly above* the
+            // incumbent score can never win — not even on the `(a, b)`
+            // tie-break, which requires score equality. Skipping here is
+            // therefore byte-identical to full evaluation while avoiding
+            // materializing the candidate's per-source distance rows.
+            if let Some((incumbent, _)) = best {
+                if field.lower_bound(reloc(pc), reloc(pt)) > incumbent {
+                    continue;
+                }
+            }
             let mut score = field
                 .dist(reloc(pc), reloc(pt))
                 .unwrap_or(f64::INFINITY);
@@ -790,6 +849,41 @@ mod tests {
             .unwrap();
         assert_eq!(cached.circuit.gates(), uncached.circuit.gates());
         assert_eq!(cached.swaps_inserted, uncached.swaps_inserted);
+    }
+
+    #[test]
+    fn oracle_backed_routing_matches_the_table_path() {
+        let d = devices::ibmqx5();
+        let c = workload();
+        for objective in [RoutingObjective::FewestSwaps, RoutingObjective::HighestFidelity] {
+            let (table, _) = crate::cache::routing_table(&d, objective);
+            let (oracle, _) = crate::cache::routing_oracle(&d, objective);
+            for kind in RouteStrategyKind::CONCRETE {
+                let strategy = kind.instance();
+                let via_table = strategy
+                    .route(
+                        &RouteRequest::new(&c, &d)
+                            .with_objective(objective)
+                            .with_table(table.clone()),
+                    )
+                    .unwrap();
+                let via_oracle = strategy
+                    .route(
+                        &RouteRequest::new(&c, &d)
+                            .with_objective(objective)
+                            .with_oracle(oracle.clone()),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    via_table.circuit.gates(),
+                    via_oracle.circuit.gates(),
+                    "{objective:?} via {}",
+                    kind.name()
+                );
+                assert_eq!(via_table.swaps_inserted, via_oracle.swaps_inserted);
+                assert_eq!(via_table.restoration_swaps, via_oracle.restoration_swaps);
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 mod event;
 pub mod json;
 mod sink;
+pub mod streaming;
 
 pub use event::{
     route_strategy_name, route_strategy_tag, CompileMetrics, Pass, PassEvent, Span, StageSnapshot,

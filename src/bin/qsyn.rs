@@ -23,7 +23,8 @@ fn usage() -> ! {
 
 USAGE:
   qsyn devices
-      List the built-in device library with coupling complexities.
+      List the built-in device library (with coupling complexities and
+      supported routing objectives) and the generated device families.
 
   qsyn compile <input> --device <name> [--out FILE] [--no-opt]
                [--no-verify] [--placement identity|greedy|annealed] [--report]
@@ -31,6 +32,7 @@ USAGE:
                [--route-strategy ctr|lookahead|lazy-synth|auto]
                [--deadline SECONDS] [--node-budget NODES] [--strict-verify]
                [--cache off|tables|mem] [--cache-stats] [--repeat N]
+               [--stream WINDOW]
       Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
       --report prints a stage-by-stage metrics table on stderr.
       --route-strategy selects the coupling-map router: `ctr` (default,
@@ -54,6 +56,11 @@ USAGE:
       prints per-layer hit/miss totals on stderr. --repeat N compiles the
       same input N times in one process (exercising the caches) and fails
       if any two runs diverge.
+      --stream WINDOW compiles the input window by window (WINDOW input
+      gates at a time) with a bounded resident circuit, writing QASM
+      incrementally — each window is QMDD-verified against its input
+      (windowed miter), and the trace carries one aggregate route event
+      with streaming counters. Identity placement only.
 
   qsyn check <a> <b> [--miter] [--ancilla 2,3]
       QMDD formal equivalence check of two circuit files; --miter uses the
@@ -84,7 +91,8 @@ USAGE:
       ASCII rendering of a circuit with ASAP gate layers.
 
 Devices: ibmqx2, ibmqx3, ibmqx4, ibmqx5, ibmq_16, ibmq20, qc96,
-simulator:<n>, or a path to a .device description file
+simulator:<n>, the generated families lnn:<n>, grid:<w>x<h> and
+heavy-hex:<d>, or a path to a .device description file
 (name/qubits/native/coupling directives)."
     );
     std::process::exit(2);
@@ -186,17 +194,54 @@ macro_rules! parse_or_exit {
 }
 
 fn cmd_devices() -> ExitCode {
-    println!("| device | qubits | couplings | coupling complexity |");
-    println!("|---|---|---|---|");
+    // Every device supports both routing objectives; fidelity routing uses
+    // per-edge calibration when present and a uniform default error
+    // otherwise.
+    let objectives = |d: &Device| {
+        if d.has_error_data() {
+            "swaps, fidelity (calibrated)"
+        } else {
+            "swaps, fidelity (uniform)"
+        }
+    };
+    println!("| device | qubits | couplings | coupling complexity | objectives |");
+    println!("|---|---|---|---|---|");
     for d in devices::all_devices() {
         println!(
-            "| {} | {} | {} | {:.6} |",
+            "| {} | {} | {} | {:.6} | {} |",
             d.name(),
             d.n_qubits(),
             d.coupling_count(),
-            d.coupling_complexity()
+            d.coupling_complexity(),
+            objectives(&d)
         );
     }
+    // The generated families take a size parameter on the command line;
+    // one representative instantiation per family shows the shape.
+    println!();
+    println!("| generated family | example | qubits | couplings | objectives |");
+    println!("|---|---|---|---|---|");
+    for (family, example) in [
+        ("lnn:<n>", "lnn:1024"),
+        ("grid:<w>x<h>", "grid:32x32"),
+        ("heavy-hex:<d>", "heavy-hex:14"),
+    ] {
+        let d = devices::device_by_name(example).expect("example family names resolve");
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            family,
+            example,
+            d.n_qubits(),
+            d.coupling_count(),
+            objectives(&d)
+        );
+    }
+    println!();
+    println!(
+        "Generated families accept up to {} qubits; every edge is bidirectional \
+         and carries synthetic calibration data.",
+        devices::MAX_GENERATED_QUBITS
+    );
     ExitCode::SUCCESS
 }
 
@@ -213,7 +258,8 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             "deadline",
             "node-budget",
             "cache",
-            "repeat"
+            "repeat",
+            "stream"
         ]
     );
     let [input] = pos.as_slice() else { usage() };
@@ -228,6 +274,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let device_width = device.n_qubits();
     let circuit = match load_circuit(input) {
         Ok(c) => c,
         Err(e) => {
@@ -332,6 +379,106 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         },
+    }
+
+    // --stream N compiles window by window with a bounded resident
+    // circuit, writing QASM incrementally — the path for gate streams too
+    // large to hold in memory. Placement is identity by construction and
+    // whole-compile repetition does not apply.
+    if let Some(spec) = flag(&flags, "stream") {
+        let window = match spec.parse::<usize>() {
+            Ok(w) if w >= 1 => w,
+            _ => {
+                eprintln!("error: bad --stream `{spec}` (want a window size >= 1)");
+                return ExitCode::from(2);
+            }
+        };
+        if repeat > 1 {
+            eprintln!("error: --repeat is incompatible with --stream");
+            return ExitCode::from(2);
+        }
+        if matches!(flag(&flags, "placement"), Some(p) if p != "identity") {
+            eprintln!("error: --stream only supports identity placement");
+            return ExitCode::from(2);
+        }
+        use std::io::Write as _;
+        let raw: Box<dyn std::io::Write> = match flag(&flags, "out") {
+            Some(path) => match std::fs::File::create(path) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Box::new(std::io::stdout()),
+        };
+        let mut writer = std::io::BufWriter::new(raw);
+        // Streamed gates live on physical (device) qubits, so the output
+        // register is device-wide even when the input circuit is narrower.
+        let header = qsyn::circuit::qasm_header(device_width, circuit.name());
+        if let Err(e) = writer.write_all(header.as_bytes()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut line = String::with_capacity(32);
+        let mut write_err: Option<String> = None;
+        let streamed = compiler.compile_stream(
+            circuit.n_qubits(),
+            window,
+            circuit.gates().iter().cloned(),
+            |g| {
+                if write_err.is_some() {
+                    return;
+                }
+                line.clear();
+                if let Err(e) = qsyn::circuit::write_gate_qasm(&mut line, g)
+                    .map_err(std::io::Error::other)
+                    .and_then(|()| writer.write_all(line.as_bytes()))
+                {
+                    write_err = Some(e.to_string());
+                }
+            },
+        );
+        let summary = match streamed {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(e) = write_err.or_else(|| writer.flush().err().map(|e| e.to_string())) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "streamed {:?} -> {}: {} windows of <= {} gates, {} -> {} gates, \
+             {} SWAPs, peak resident {} gates, {:.3}s",
+            circuit.name().unwrap_or(input),
+            device_name,
+            summary.windows,
+            summary.window_gates,
+            summary.gates_in,
+            summary.gates_out,
+            summary.swaps_inserted,
+            summary.peak_resident_gates,
+            summary.total_seconds,
+        );
+        match &summary.verdict {
+            Verdict::Unverified { reason } => {
+                eprintln!("warning: equivalence not established: {reason}");
+            }
+            Verdict::Verified { method } => {
+                eprintln!(
+                    "verified {} of {} windows ({method})",
+                    summary.verified_windows, summary.windows
+                );
+            }
+            _ => {}
+        }
+        if flag(&flags, "cache-stats").is_some() {
+            eprintln!("{}", qsyn::core::cache::stats().render());
+        }
+        return ExitCode::SUCCESS;
     }
 
     // --repeat runs the whole compile N times in one process; sweep-style
@@ -610,6 +757,25 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Streaming compiles emit one aggregate route event whose counters
+    // must be internally consistent: windows processed, windowed-miter
+    // outcomes accounting for every window, non-negative oracle activity,
+    // and no window blowing the per-window SWAP cap recorded beside it.
+    let mut stream_windows = 0.0f64;
+    let mut stream_events = 0usize;
+    for (k, e) in events.iter().enumerate() {
+        match qsyn::trace::streaming::validate_streaming_route_event(e) {
+            Ok(None) => {}
+            Ok(Some(c)) => {
+                stream_events += 1;
+                stream_windows += c.windows;
+            }
+            Err(msg) => {
+                eprintln!("error: {input}: event {}: {msg}", k + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // Compile-cache replays stamp every event with `cache_hit = 1`; the
     // marker is boolean by construction, so anything else is corruption.
     let mut cache_hits = 0usize;
@@ -641,16 +807,23 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
     } else {
         format!(", strategies: {}", strategies.join(", "))
     };
+    let streamed = if stream_events > 0 {
+        format!(
+            ", {stream_events} streaming event(s) covering {stream_windows} windows"
+        )
+    } else {
+        String::new()
+    };
     if jobs.is_empty() {
         eprintln!(
-            "{}: {} well-formed pass events{ladder}{cached}{routed}",
+            "{}: {} well-formed pass events{ladder}{cached}{routed}{streamed}",
             input,
             events.len()
         );
     } else {
         eprintln!(
             "{}: {} well-formed pass events across {} jobs, each in Fig. 2 \
-             order{ladder}{cached}{routed}",
+             order{ladder}{cached}{routed}{streamed}",
             input,
             events.len(),
             jobs.len()
