@@ -145,16 +145,28 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
     /// budget hold. A single entry heavier than the whole budget is still
     /// admitted (after evicting everything else) — refusing it would just
     /// rebuild it on every use. Returns the number of entries evicted.
+    ///
+    /// Reinserting a present key never evicts other entries: the old entry
+    /// is charged off first, so the count cannot grow, and a same-or-lighter
+    /// replacement always fits the budget the old entry satisfied. All byte
+    /// accounting is saturating — a drifted weight can never underflow the
+    /// total and wedge the budget check.
     fn insert_weighted(&mut self, key: K, value: V, bytes: usize) -> u64 {
         self.tick += 1;
-        if let Some((_, _, old_bytes)) = self.map.remove(&key) {
-            self.total_bytes -= old_bytes;
-        }
+        let replacing = if let Some((_, _, old_bytes)) = self.map.remove(&key) {
+            self.total_bytes = self.total_bytes.saturating_sub(old_bytes);
+            true
+        } else {
+            false
+        };
         let mut evicted = 0;
         let over = |m: &Self| {
-            m.map.len() >= m.cap
+            // `>= cap` only when the key is new: a replacement holds the
+            // count constant, so it must not evict a victim on a full map.
+            (!replacing && m.map.len() >= m.cap)
+                || m.map.len() > m.cap
                 || m.byte_budget
-                    .is_some_and(|budget| m.total_bytes + bytes > budget)
+                    .is_some_and(|budget| m.total_bytes.saturating_add(bytes) > budget)
         };
         while !self.map.is_empty() && over(self) {
             let oldest = self
@@ -164,12 +176,22 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map has a stalest entry");
             let (_, _, freed) = self.map.remove(&oldest).expect("stalest key resides in map");
-            self.total_bytes -= freed;
+            self.total_bytes = self.total_bytes.saturating_sub(freed);
             evicted += 1;
         }
-        self.total_bytes += bytes;
+        self.total_bytes = self.total_bytes.saturating_add(bytes);
         self.map.insert(key, (value, self.tick, bytes));
         evicted
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[cfg(test)]
+    fn total_bytes(&self) -> usize {
+        self.total_bytes
     }
 }
 
@@ -197,7 +219,25 @@ stat_counters!(
     COMPILE_MISSES,
     COMPILE_INSERTS,
     COMPILE_EVICTIONS,
+    DISK_HITS,
+    DISK_MISSES,
+    DISK_WRITES,
+    DISK_QUARANTINES,
 );
+
+/// Counter bumps for the on-disk persistence tier (`crate::persist`).
+pub(crate) fn note_disk_hit() {
+    DISK_HITS.fetch_add(1, Ordering::Relaxed);
+}
+pub(crate) fn note_disk_miss() {
+    DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+pub(crate) fn note_disk_write() {
+    DISK_WRITES.fetch_add(1, Ordering::Relaxed);
+}
+pub(crate) fn note_disk_quarantine() {
+    DISK_QUARANTINES.fetch_add(1, Ordering::Relaxed);
+}
 
 /// A point-in-time copy of the process-global per-layer cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -228,6 +268,16 @@ pub struct CacheStatsSnapshot {
     pub compile_inserts: u64,
     /// Compile results evicted by the LRU bound.
     pub compile_evictions: u64,
+    /// Disk-tier hits: compile results loaded and validated from the
+    /// on-disk persistence layer (see `qsyn_core::persist`).
+    pub disk_hits: u64,
+    /// Disk-tier misses: keys with no readable entry on disk.
+    pub disk_misses: u64,
+    /// Compile results written to the disk tier.
+    pub disk_writes: u64,
+    /// Corrupted, truncated, stale or mismatched disk entries quarantined
+    /// instead of trusted.
+    pub disk_quarantines: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -268,6 +318,10 @@ impl CacheStatsSnapshot {
             compile_evictions: self
                 .compile_evictions
                 .saturating_sub(earlier.compile_evictions),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            disk_misses: self.disk_misses.saturating_sub(earlier.disk_misses),
+            disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
+            disk_quarantines: self.disk_quarantines.saturating_sub(earlier.disk_quarantines),
         }
     }
 
@@ -298,7 +352,8 @@ impl CacheStatsSnapshot {
             "cache stats:\n  routing tables: {} built, {} reused, {} evicted\n  \
              sparse oracles: {} built, {} reused, {} evicted\n  \
              decompose memo: {} hits, {} misses ({:.0}% hit rate), {} evicted\n  \
-             compile cache : {} hits, {} misses ({:.0}% hit rate), {} inserted, {} evicted",
+             compile cache : {} hits, {} misses ({:.0}% hit rate), {} inserted, {} evicted\n  \
+             disk tier     : {} hits, {} misses, {} written, {} quarantined",
             self.routing_tables_built,
             self.routing_table_hits,
             self.routing_table_evictions,
@@ -314,6 +369,10 @@ impl CacheStatsSnapshot {
             self.compile_hit_rate() * 100.0,
             self.compile_inserts,
             self.compile_evictions,
+            self.disk_hits,
+            self.disk_misses,
+            self.disk_writes,
+            self.disk_quarantines,
         )
     }
 }
@@ -335,6 +394,10 @@ pub fn stats() -> CacheStatsSnapshot {
         compile_misses: read(&COMPILE_MISSES),
         compile_inserts: read(&COMPILE_INSERTS),
         compile_evictions: read(&COMPILE_EVICTIONS),
+        disk_hits: read(&DISK_HITS),
+        disk_misses: read(&DISK_MISSES),
+        disk_writes: read(&DISK_WRITES),
+        disk_quarantines: read(&DISK_QUARANTINES),
     }
 }
 
@@ -1122,6 +1185,83 @@ mod tests {
         assert_eq!(lru.insert_weighted(4, 41, 90), 0);
         assert_eq!(lru.insert_weighted(5, 50, 5), 0, "90 + 5 fits");
         assert_eq!(lru.get(&4), Some(41));
+    }
+
+    #[test]
+    fn zero_weight_flood_still_respects_the_count_cap() {
+        // Zero-weight entries never trip the byte budget; the count cap is
+        // the only thing bounding them, and it must hold exactly.
+        let mut lru: LruMap<u32, u32> = LruMap::with_byte_budget(16, 100);
+        for k in 0..1000 {
+            lru.insert_weighted(k, k, 0);
+        }
+        assert_eq!(lru.len(), 16);
+        assert_eq!(lru.total_bytes(), 0);
+        // The 16 most recent survive.
+        for k in 984..1000 {
+            assert_eq!(lru.get(&k), Some(k));
+        }
+    }
+
+    #[test]
+    fn duplicate_key_reinsert_never_evicts_and_keeps_bytes_consistent() {
+        let mut lru: LruMap<u8, u8> = LruMap::with_byte_budget(4, 100);
+        lru.insert_weighted(1, 10, 30);
+        lru.insert_weighted(2, 20, 30);
+        lru.insert_weighted(3, 30, 30);
+        assert_eq!(lru.total_bytes(), 90);
+        // Reinsert key 2 at the same weight, many times: the map is at
+        // neither cap, totals must not drift, and nothing may be evicted.
+        for _ in 0..100 {
+            assert_eq!(lru.insert_weighted(2, 21, 30), 0);
+        }
+        assert_eq!(lru.total_bytes(), 90);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        // Reinsert at exactly the budget remainder: old weight is charged
+        // off first, so 30 -> 40 fits (90 - 30 + 40 = 100) without eviction.
+        assert_eq!(lru.insert_weighted(2, 22, 40), 0);
+        assert_eq!(lru.total_bytes(), 100);
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_on_a_count_full_map_does_not_evict() {
+        let mut lru: LruMap<u8, u8> = LruMap::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        // Map is at cap; replacing a resident key holds the count constant
+        // and must not pick a victim.
+        assert_eq!(lru.insert(1, 11), 0);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&2), Some(20));
+    }
+
+    #[test]
+    fn weight_shrink_on_reinsert_frees_budget_for_others() {
+        let mut lru: LruMap<u8, u8> = LruMap::with_byte_budget(8, 100);
+        lru.insert_weighted(1, 10, 90);
+        // Shrink key 1 from 90 to 10 bytes; the freed 80 admit key 2.
+        assert_eq!(lru.insert_weighted(1, 11, 10), 0);
+        assert_eq!(lru.total_bytes(), 10);
+        assert_eq!(lru.insert_weighted(2, 20, 80), 0);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.total_bytes(), 90);
+    }
+
+    #[test]
+    fn oversized_reinsert_evicts_others_but_admits_the_entry() {
+        let mut lru: LruMap<u8, u8> = LruMap::with_byte_budget(8, 100);
+        lru.insert_weighted(1, 10, 40);
+        lru.insert_weighted(2, 20, 40);
+        // Growing key 1 past the whole budget evicts key 2 but still
+        // admits the heavy replacement (same policy as fresh inserts).
+        assert_eq!(lru.insert_weighted(1, 11, 500), 1);
+        assert_eq!(lru.get(&1), Some(11));
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.total_bytes(), 500);
     }
 
     #[test]

@@ -129,6 +129,7 @@ pub struct Compiler {
     optimization: Optimization,
     budget: CompileBudget,
     cache: CacheMode,
+    disk: Option<Arc<crate::persist::DiskCache>>,
     trace: Option<Arc<dyn TraceSink>>,
     job: Option<u64>,
     #[cfg(feature = "fault-injection")]
@@ -167,6 +168,7 @@ impl Compiler {
             optimization: Optimization::default_enabled(),
             budget: CompileBudget::default(),
             cache: CacheMode::default(),
+            disk: None,
             trace: None,
             job: None,
             #[cfg(feature = "fault-injection")]
@@ -201,6 +203,22 @@ impl Compiler {
     /// The active cache mode.
     pub fn cache(&self) -> CacheMode {
         self.cache
+    }
+
+    /// Attaches the on-disk compile-cache tier (see [`crate::persist`]).
+    /// Active only under [`CacheMode::Mem`]: on an in-memory miss the
+    /// directory is consulted (a validated entry replays exactly like a
+    /// memory hit and repopulates the in-memory cache), and every
+    /// memoizable fresh result is written back atomically. Corrupted
+    /// entries are quarantined and recomputed, never trusted.
+    pub fn with_disk_cache(mut self, disk: Arc<crate::persist::DiskCache>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The attached disk cache, if any.
+    pub fn disk_cache(&self) -> Option<&Arc<crate::persist::DiskCache>> {
+        self.disk.as_ref()
     }
 
     /// Arms a deliberate fault that fires at the start of one pass —
@@ -340,6 +358,16 @@ impl Compiler {
             if let Some(key) = key {
                 if let Some(hit) = crate::cache::compile_cache_get(key) {
                     return Ok(self.replay_cached(&hit, started));
+                }
+                // Memory miss: lazily consult the disk tier. A validated
+                // entry repopulates the in-memory cache and replays like
+                // any other hit; an invalid one has already been
+                // quarantined and we recompute below.
+                if let Some(disk) = &self.disk {
+                    if let crate::persist::DiskLoad::Hit(hit) = disk.load(key) {
+                        crate::cache::compile_cache_insert(key, Arc::new((*hit).clone()));
+                        return Ok(self.replay_cached(&hit, started));
+                    }
                 }
             }
             key
@@ -610,6 +638,11 @@ impl Compiler {
         if let Some(key) = cache_key {
             if !result.metrics.verdict.is_unverified() {
                 crate::cache::compile_cache_insert(key, Arc::new(result.clone()));
+                // Persist best-effort: a full disk or unwritable directory
+                // costs the warm restart, not the compile.
+                if let Some(disk) = &self.disk {
+                    let _ = disk.store(key, &result);
+                }
             }
         }
         Ok(result)
@@ -853,7 +886,7 @@ impl Compiler {
     /// ([`CostModel::cache_params`] returns `None`): its name alone cannot
     /// distinguish it from a same-named model with different pricing, so
     /// memoization is skipped rather than risking a key collision.
-    fn compile_key(&self, input: &Circuit) -> Option<u128> {
+    pub(crate) fn compile_key(&self, input: &Circuit) -> Option<u128> {
         let params = self.cost.cache_params()?;
         let mut h = qsyn_circuit::Fnv128::new();
         h.write_u128(input.structural_hash());
@@ -1168,7 +1201,7 @@ pub struct CompileResult {
     /// [`Verdict::Unverified`] under a degraded budget (see
     /// [`CompileResult::verdict`] for the distinction).
     pub verified: Option<bool>,
-    metrics: CompileMetrics,
+    pub(crate) metrics: CompileMetrics,
 }
 
 impl CompileResult {

@@ -42,9 +42,11 @@ pub mod decompose;
 mod error;
 pub mod library;
 pub mod optimize;
+pub mod persist;
 pub mod place;
 pub mod remap;
 pub mod route;
+pub mod serve;
 pub mod sk;
 pub mod strategy;
 
@@ -64,6 +66,7 @@ pub use decompose::{
 pub use optimize::{
     optimize, optimize_bounded, optimize_traced, optimize_with, OptimizeConfig, OptimizeCounters,
 };
+pub use persist::{DiskCache, DiskLoad};
 pub use place::{place, Placement, PlacementStrategy};
 pub use remap::{
     route_circuit_persistent, route_circuit_persistent_traced, PersistentRouteCounters,

@@ -40,6 +40,13 @@ impl Placement {
         }
     }
 
+    /// Reconstructs a placement from an explicit logical-to-physical map
+    /// (used by the on-disk compile-result codec; a computed placement is
+    /// just its map, so round-tripping through `as_slice` is lossless).
+    pub fn from_map(map: Vec<usize>) -> Self {
+        Placement { map }
+    }
+
     /// The physical qubit hosting a logical line.
     ///
     /// # Panics

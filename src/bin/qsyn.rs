@@ -62,6 +62,27 @@ USAGE:
       (windowed miter), and the trace carries one aggregate route event
       with streaming counters. Identity placement only.
 
+  qsyn serve [--workers N] [--queue-cap N] [--node-ceiling NODES]
+             [--deadline SECONDS] [--node-budget NODES] [--max-swaps N]
+             [--cache off|tables|mem] [--cache-dir DIR] [--trace[=FILE]]
+             [--max-line-bytes N] [--no-retry] [--no-emit] [--strict-verify]
+             [--cache-stats]
+      Long-running compilation daemon: one JSON request per stdin line,
+      one JSON response per request on stdout (completion order; match
+      rows to requests by the echoed `id`). Every request is fault-
+      isolated — a panicking or budget-blown compile yields a structured
+      error row, never a dead daemon. --queue-cap bounds admitted
+      requests (excess gets `overloaded` rows); --deadline/--node-budget
+      set per-request defaults (requests may override); --node-ceiling
+      caps the summed node budgets of concurrent compiles. --cache-dir
+      adds a crash-safe on-disk cache tier under DIR (implies --cache
+      mem): results persist across restarts, corrupted entries are
+      quarantined and recomputed. An `Unverified` verdict earns one
+      automatic retry at a doubled node budget unless --no-retry. On
+      stdin EOF or SIGTERM the daemon drains in-flight requests, answers
+      unadmitted lines with `shutting-down` rows, and exits 0. See
+      docs/ROBUSTNESS.md for the request/response schema.
+
   qsyn check <a> <b> [--miter] [--ancilla 2,3]
       QMDD formal equivalence check of two circuit files; --miter uses the
       interleaved strategy for wide registers, --ancilla checks partial
@@ -540,6 +561,153 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Installs a SIGTERM handler that flips the serve shutdown flag. Raw
+/// libc `signal(2)` via FFI: the workspace builds offline, so no `libc`
+/// crate — and the handler body is a single atomic store, which is
+/// async-signal-safe.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_sigterm(_: i32) {
+        qsyn::serve::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (pos, flags) = parse_or_exit!(
+        args,
+        &["trace", "no-retry", "no-emit", "strict-verify", "cache-stats"],
+        &[
+            "workers",
+            "queue-cap",
+            "node-ceiling",
+            "deadline",
+            "node-budget",
+            "max-swaps",
+            "cache",
+            "cache-dir",
+            "max-line-bytes",
+            "trace"
+        ]
+    );
+    if !pos.is_empty() {
+        eprintln!("error: serve takes no positional arguments");
+        return ExitCode::from(2);
+    }
+    let mut opts = qsyn::serve::ServeOptions::default();
+    macro_rules! usize_flag {
+        ($name:literal, $min:expr) => {
+            match flag(&flags, $name) {
+                None => None,
+                Some(spec) => match spec.parse::<usize>() {
+                    Ok(n) if n >= $min => Some(n),
+                    _ => {
+                        eprintln!("error: bad --{} `{spec}` (want an integer >= {})", $name, $min);
+                        return ExitCode::from(2);
+                    }
+                },
+            }
+        };
+    }
+    if let Some(n) = usize_flag!("workers", 1) {
+        opts.workers = n;
+    }
+    if let Some(n) = usize_flag!("queue-cap", 1) {
+        opts.queue_cap = n;
+    }
+    if let Some(n) = usize_flag!("max-line-bytes", 1) {
+        opts.max_line_bytes = n;
+    }
+    opts.node_ceiling = usize_flag!("node-ceiling", 1);
+    opts.defaults.node_budget = usize_flag!("node-budget", 1);
+    opts.defaults.max_swaps = usize_flag!("max-swaps", 1);
+    if let Some(spec) = flag(&flags, "deadline") {
+        match spec.parse::<f64>() {
+            Ok(secs) if secs.is_finite() && secs > 0.0 => {
+                opts.defaults.deadline = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            _ => {
+                eprintln!("error: bad --deadline `{spec}` (want seconds, e.g. 2.5)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match flag(&flags, "cache") {
+        None => {}
+        Some(spec) => match CacheMode::parse(spec) {
+            Some(mode) => opts.defaults.cache = mode,
+            None => {
+                eprintln!("error: bad --cache `{spec}` (want off, tables or mem)");
+                return ExitCode::from(2);
+            }
+        },
+    }
+    if let Some(dir) = flag(&flags, "cache-dir") {
+        // The disk tier sits under the whole-compile memo, so it requires
+        // the mem layer; --cache-dir implies it rather than erroring.
+        opts.defaults.cache = CacheMode::Mem;
+        match qsyn::core::DiskCache::open(std::path::Path::new(dir)) {
+            Ok(disk) => opts.disk = Some(std::sync::Arc::new(disk)),
+            Err(e) => {
+                eprintln!("error: --cache-dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    opts.defaults.retry = flag(&flags, "no-retry").is_none();
+    opts.defaults.emit_qasm = flag(&flags, "no-emit").is_none();
+    opts.defaults.strict_verify = flag(&flags, "strict-verify").is_some();
+    match flag(&flags, "trace") {
+        None => {}
+        Some("") => opts.trace = Some(std::sync::Arc::new(JsonlSink::stderr())),
+        Some(path) => match JsonlSink::to_file(path) {
+            Ok(sink) => opts.trace = Some(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    }
+
+    install_sigterm_handler();
+    let input = std::io::BufReader::new(std::io::stdin());
+    let stdout = std::io::stdout();
+    match qsyn::serve::run(input, stdout.lock(), opts) {
+        Ok(summary) => {
+            eprintln!(
+                "served {} requests: {} ok, {} errors ({} overloaded, {} shed){}",
+                summary.requests,
+                summary.ok,
+                summary.errors,
+                summary.overloaded,
+                summary.shed,
+                if summary.terminated {
+                    ", terminated by signal"
+                } else {
+                    ""
+                },
+            );
+            if flag(&flags, "cache-stats").is_some() {
+                eprintln!("{}", qsyn::core::cache::stats().render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     let (pos, flags) = parse_or_exit!(args, &["miter"], &["ancilla"]);
     let [a, b] = pos.as_slice() else { usage() };
@@ -928,6 +1096,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match cmd.as_str() {
             "devices" => cmd_devices(),
             "compile" => cmd_compile(rest),
+            "serve" => cmd_serve(rest),
             "check" => cmd_check(rest),
             "check-trace" => cmd_check_trace(rest),
             "stats" => cmd_stats(rest),

@@ -45,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+pub mod serve;
+
 pub use qsyn_arch as arch;
 pub use qsyn_bench as bench;
 pub use qsyn_circuit as circuit;

@@ -1,0 +1,327 @@
+//! The `qsyn serve` daemon loop: JSONL requests in, JSONL responses out.
+//!
+//! This module is the threading shell around [`qsyn_core::serve`]: a
+//! reader thread feeds request lines into a coordinator, the coordinator
+//! applies admission control and hands accepted requests to a
+//! [`WorkerPool`], and workers send
+//! pre-rendered response lines to a single writer thread. The invariants
+//! the daemon guarantees, whatever the requests do:
+//!
+//! * **N responses for N request lines.** Every line — valid, malformed,
+//!   rejected for overload, expired in queue, panicked mid-compile —
+//!   produces exactly one structured response row.
+//! * **The daemon outlives its requests.** Compiles run under
+//!   `catch_unwind` ([`qsyn_core::serve::execute`]) and the pool's
+//!   workers survive panicking jobs, so one poisoned request cannot take
+//!   the service down.
+//! * **Graceful shutdown.** On stdin EOF or SIGTERM the daemon stops
+//!   accepting, answers any still-queued lines with `shutting-down`
+//!   rows, drains in-flight compiles, flushes, and exits 0.
+//!
+//! Responses are written in **completion order**, not arrival order —
+//! clients correlate by the echoed `id` field (that is what it is for).
+
+use qsyn_bench::par::WorkerPool;
+use qsyn_core::serve::{
+    parse_request, NodeBudgetGate, ServeContext, ServeDefaults, ServeResponse,
+};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Set by the SIGTERM handler (installed by the binary); the coordinator
+/// polls it between lines and begins a graceful drain when it flips.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Daemon configuration beyond the per-request defaults.
+pub struct ServeOptions {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Admission cap: when this many requests are already queued or
+    /// compiling, new requests are rejected with `overloaded` rows
+    /// instead of being buffered without bound.
+    pub queue_cap: usize,
+    /// Hard cap on one request line, in bytes.
+    pub max_line_bytes: usize,
+    /// Per-request defaults and validation limits.
+    pub defaults: ServeDefaults,
+    /// Shared execution context (disk cache, trace sink, node gate).
+    pub disk: Option<Arc<qsyn_core::DiskCache>>,
+    /// Trace sink for per-request pass events.
+    pub trace: Option<Arc<dyn qsyn_trace::TraceSink>>,
+    /// Global in-flight node-budget ceiling.
+    pub node_ceiling: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: qsyn_bench::par::default_jobs(),
+            queue_cap: 64,
+            max_line_bytes: 4 << 20,
+            defaults: ServeDefaults::default(),
+            disk: None,
+            trace: None,
+            node_ceiling: None,
+        }
+    }
+}
+
+/// What a serving session did, reported on stderr at exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines read.
+    pub requests: u64,
+    /// `status: ok` rows written.
+    pub ok: u64,
+    /// `status: error` rows written (every kind).
+    pub errors: u64,
+    /// Requests rejected by admission control (subset of `errors`).
+    pub overloaded: u64,
+    /// Lines answered with `shutting-down` rows during the drain.
+    pub shed: u64,
+    /// Whether the session ended on SIGTERM rather than EOF.
+    pub terminated: bool,
+}
+
+/// Runs a serving session over the given byte streams until EOF or
+/// SIGTERM, then drains and returns the session summary.
+///
+/// The reader runs on its own thread (a blocked `read_line` cannot be
+/// interrupted portably, so the coordinator must not be the one blocked
+/// on it when SIGTERM arrives); `input` therefore needs `Send + 'static`.
+pub fn run(
+    input: impl BufRead + Send + 'static,
+    output: impl Write,
+    opts: ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let ctx = Arc::new(ServeContext {
+        defaults: opts.defaults.clone(),
+        disk: opts.disk.clone(),
+        trace: opts.trace.clone(),
+        gate: opts.node_ceiling.map(|n| Arc::new(NodeBudgetGate::new(n))),
+    });
+    let pool = WorkerPool::new(opts.workers);
+    let mut summary = ServeSummary::default();
+
+    // Reader thread: lines flow through a bounded channel so a fast
+    // client cannot buffer unbounded input ahead of admission control.
+    let (line_tx, line_rx) = mpsc::sync_channel::<std::io::Result<String>>(opts.queue_cap.max(1));
+    let reader = std::thread::Builder::new()
+        .name("qsyn-serve-reader".to_string())
+        .spawn(move || {
+            let mut input = input;
+            loop {
+                let mut line = String::new();
+                match input.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if line_tx.send(Ok(line)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = line_tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawning reader thread");
+
+    // Response channel: workers send pre-rendered rows; the coordinator
+    // owns the output stream and is the only writer.
+    let (resp_tx, resp_rx) = mpsc::channel::<ServeResponse>();
+    let mut output = output;
+    let write_row = |output: &mut dyn Write,
+                         summary: &mut ServeSummary,
+                         row: &ServeResponse|
+     -> std::io::Result<()> {
+        if row.is_ok() {
+            summary.ok += 1;
+        } else {
+            summary.errors += 1;
+        }
+        writeln!(output, "{}", row.render())?;
+        output.flush()
+    };
+
+    let mut next_job: u64 = 0;
+    loop {
+        // Deliver any finished responses first so completion latency does
+        // not depend on new requests arriving.
+        while let Ok(row) = resp_rx.try_recv() {
+            write_row(&mut output, &mut summary, &row)?;
+        }
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            summary.terminated = true;
+            break;
+        }
+        let line = match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Ok(line)) => line,
+            Ok(Err(e)) => return Err(e),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        };
+        if line.trim().is_empty() {
+            continue; // blank lines are keep-alive, not requests
+        }
+        summary.requests += 1;
+        let job = next_job;
+        next_job += 1;
+        let accepted = Instant::now();
+
+        if line.len() > opts.max_line_bytes {
+            let row = ServeResponse::error(
+                None,
+                job,
+                "too-large",
+                format!(
+                    "request line is {} bytes; the daemon caps lines at {}",
+                    line.len(),
+                    opts.max_line_bytes
+                ),
+            );
+            write_row(&mut output, &mut summary, &row)?;
+            continue;
+        }
+        let req = match parse_request(&line, &opts.defaults) {
+            Ok(req) => req,
+            Err(e) => {
+                let row = ServeResponse::rejection(job, &e);
+                write_row(&mut output, &mut summary, &row)?;
+                continue;
+            }
+        };
+        // Admission control: shed load instead of queueing without bound.
+        if pool.pending() >= opts.queue_cap {
+            summary.overloaded += 1;
+            let row = ServeResponse::error(
+                Some(req.id.clone()),
+                job,
+                "overloaded",
+                format!(
+                    "{} requests already in flight (cap {}); retry later",
+                    pool.pending(),
+                    opts.queue_cap
+                ),
+            );
+            write_row(&mut output, &mut summary, &row)?;
+            continue;
+        }
+        let ctx = Arc::clone(&ctx);
+        let resp_tx = resp_tx.clone();
+        pool.submit(move || {
+            let row = qsyn_core::serve::execute(&req, job, accepted, &ctx);
+            // The coordinator may already have exited on a write error;
+            // dropping the row is then the only option.
+            let _ = resp_tx.send(row);
+        });
+    }
+
+    // Drain: answer lines already read but not yet admitted with
+    // `shutting-down` rows (N in, N out), finish in-flight compiles,
+    // deliver their rows, and stop.
+    while let Ok(line) = line_rx.try_recv() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        summary.shed += 1;
+        let job = next_job;
+        next_job += 1;
+        let id = qsyn_trace::json::parse(line.trim())
+            .ok()
+            .and_then(|v| v.get("id").and_then(|id| id.as_str().map(str::to_string)));
+        let row = ServeResponse::error(id, job, "shutting-down", "daemon is draining; resubmit");
+        write_row(&mut output, &mut summary, &row)?;
+    }
+    drop(line_rx); // reader unblocks on its next send
+    pool.drain();
+    drop(resp_tx);
+    while let Ok(row) = resp_rx.recv() {
+        write_row(&mut output, &mut summary, &row)?;
+    }
+    pool.shutdown();
+    // The reader may still be blocked on read_line (SIGTERM path with the
+    // terminal open); it exits on the next line or EOF. Joining would
+    // hang, so it is detached by dropping the handle — but on the EOF
+    // path it has already finished and the join is immediate.
+    if summary.terminated {
+        drop(reader);
+    } else {
+        let _ = reader.join();
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toffoli_line(id: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"circuit\":\"OPENQASM 2.0;\\ninclude \\\"qelib1.inc\\\";\\nqreg q[3];\\nccx q[0],q[1],q[2];\\n\",\"device\":\"ibmqx4\"}}"
+        )
+    }
+
+    fn run_session(input: String, opts: ServeOptions) -> (ServeSummary, Vec<String>) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = run(std::io::Cursor::new(input), &mut out, opts).expect("session runs");
+        let lines = String::from_utf8(out)
+            .expect("utf8 output")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        (summary, lines)
+    }
+
+    #[test]
+    fn n_requests_yield_n_responses() {
+        let input = format!(
+            "{}\n{}\nnot json at all\n{}\n",
+            toffoli_line("a"),
+            toffoli_line("b"),
+            toffoli_line("c")
+        );
+        let (summary, lines) = run_session(input, ServeOptions::default());
+        assert_eq!(summary.requests, 4);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(summary.ok, 3);
+        assert_eq!(summary.errors, 1);
+        assert!(!summary.terminated);
+        // Every id answered exactly once.
+        for id in ["\"id\":\"a\"", "\"id\":\"b\"", "\"id\":\"c\""] {
+            assert_eq!(lines.iter().filter(|l| l.contains(id)).count(), 1);
+        }
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"parse\""))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let input = format!("\n\n{}\n\n", toffoli_line("only"));
+        let (summary, lines) = run_session(input, ServeOptions::default());
+        assert_eq!(summary.requests, 1);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_structurally() {
+        let opts = ServeOptions {
+            max_line_bytes: 128,
+            ..ServeOptions::default()
+        };
+        let input = format!("{}\n", toffoli_line(&"x".repeat(200)));
+        let (summary, lines) = run_session(input, opts);
+        assert_eq!(summary.errors, 1);
+        assert!(lines[0].contains("\"kind\":\"too-large\""), "{}", lines[0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end tests of the `qsyn serve` daemon: real process invocations
+//! over real pipes, mixed batches with injected faults, graceful shutdown,
+//! and warm restarts against a persistent disk-cache tier.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const TOFFOLI_QASM: &str =
+    "OPENQASM 2.0;\\ninclude \\\"qelib1.inc\\\";\\nqreg q[3];\\nccx q[0],q[1],q[2];\\n";
+
+fn toffoli_request(id: &str, extra: &str) -> String {
+    format!("{{\"id\":\"{id}\",\"circuit\":\"{TOFFOLI_QASM}\",\"device\":\"ibmqx4\"{extra}}}\n")
+}
+
+/// Runs `qsyn serve <args>`, feeds `input` to stdin, closes it (EOF), and
+/// collects the process output.
+fn serve(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qsyn"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("qsyn serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("request batch written");
+    child.wait_with_output().expect("daemon exits")
+}
+
+fn stdout_lines(out: &Output) -> Vec<String> {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsyn-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Extracts a string field from a one-line JSON response without a JSON
+/// parser (the tests only need exact-match probes).
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let probe = format!("\"{name}\":\"");
+    let start = line.find(&probe)? + probe.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+#[test]
+fn mixed_batch_with_faults_yields_one_response_per_request_and_exit_zero() {
+    // Seven requests: three good, one malformed JSON, one schema
+    // violation, one injected panic, one injected budget blow. The daemon
+    // must answer all seven and exit 0.
+    let batch = format!(
+        "{}{}not even json\n{}{}{}{}",
+        toffoli_request("good-1", ""),
+        toffoli_request("good-2", ",\"cost\":\"volume\""),
+        "{\"id\":\"schema\",\"circuit\":42,\"device\":\"ibmqx4\"}\n",
+        toffoli_request("panics", ",\"inject\":\"verify:panic\",\"emit\":false"),
+        toffoli_request("blown", ",\"inject\":\"route:budget\",\"emit\":false"),
+        toffoli_request("good-3", ",\"emit\":false"),
+    );
+    let out = serve(&[], &batch);
+    assert!(
+        out.status.success(),
+        "daemon must exit 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines = stdout_lines(&out);
+    assert_eq!(lines.len(), 7, "7 requests, 7 responses: {lines:#?}");
+    let row = |id: &str| {
+        lines
+            .iter()
+            .find(|l| field(l, "id") == Some(id))
+            .unwrap_or_else(|| panic!("no response for {id}: {lines:#?}"))
+    };
+    for id in ["good-1", "good-2", "good-3"] {
+        let l = row(id);
+        assert_eq!(field(l, "status"), Some("ok"), "{l}");
+        assert!(l.contains("\"verified\":true"), "{l}");
+    }
+    assert_eq!(field(row("panics"), "kind"), Some("panic"));
+    assert_eq!(field(row("blown"), "kind"), Some("compile"));
+    assert_eq!(field(row("schema"), "kind"), Some("schema"));
+    let parse_rows = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"parse\""))
+        .count();
+    assert_eq!(parse_rows, 1, "the non-JSON line got a parse row");
+    // The summary confirms nothing was silently dropped.
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("served 7 requests"), "{log}");
+}
+
+#[test]
+fn responses_echo_ids_and_report_valid_json() {
+    let out = serve(
+        &[],
+        &format!(
+            "{}{}",
+            toffoli_request("alpha", ",\"emit\":false"),
+            toffoli_request("beta", ",\"emit\":false")
+        ),
+    );
+    assert!(out.status.success());
+    let lines = stdout_lines(&out);
+    assert_eq!(lines.len(), 2);
+    // Every row round-trips through the repo's own JSON parser.
+    for l in &lines {
+        let v = qsyn::trace::json::parse(l).expect("response rows are valid JSON");
+        assert!(v.get("id").is_some() && v.get("job").is_some(), "{l}");
+    }
+    let ids: Vec<_> = lines.iter().filter_map(|l| field(l, "id")).collect();
+    assert!(ids.contains(&"alpha") && ids.contains(&"beta"), "{ids:?}");
+}
+
+#[test]
+fn deadline_expired_requests_get_structured_rows() {
+    // A request that stalls its worker past its own deadline: the slow
+    // fault sleeps before the deadline check, so the row must be a
+    // structured deadline error, not a hang or a dropped response.
+    let out = serve(
+        &[],
+        &toffoli_request("late", ",\"inject\":\"slow:300\",\"deadline_ms\":50,\"emit\":false"),
+    );
+    assert!(out.status.success());
+    let lines = stdout_lines(&out);
+    assert_eq!(lines.len(), 1);
+    assert_eq!(field(&lines[0], "kind"), Some("deadline"), "{}", lines[0]);
+    assert_eq!(field(&lines[0], "id"), Some("late"));
+}
+
+#[test]
+fn overload_sheds_requests_with_structured_rows() {
+    // One worker, queue cap 1, and a batch of slow requests: the daemon
+    // must shed the excess with `overloaded` rows instead of queueing
+    // without bound — and still answer every line.
+    let n = 8;
+    let batch: String = (0..n)
+        .map(|i| toffoli_request(&format!("r{i}"), ",\"inject\":\"slow:200\",\"emit\":false"))
+        .collect();
+    let out = serve(&["--workers", "1", "--queue-cap", "1"], &batch);
+    assert!(out.status.success());
+    let lines = stdout_lines(&out);
+    assert_eq!(lines.len(), n, "every request answered: {lines:#?}");
+    let overloaded = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"overloaded\""))
+        .count();
+    let ok = lines.iter().filter(|l| l.contains("\"status\":\"ok\"")).count();
+    assert!(overloaded > 0, "cap 1 with 8 slow requests must shed: {lines:#?}");
+    assert!(ok >= 1, "at least the first request completes: {lines:#?}");
+    assert_eq!(ok + overloaded, n, "{lines:#?}");
+}
+
+#[test]
+fn sigterm_drains_in_flight_work_and_exits_zero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qsyn"))
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("qsyn serve spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(toffoli_request("before-term", ",\"inject\":\"slow:400\",\"emit\":false").as_bytes())
+        .expect("request written");
+    stdin.flush().expect("flush");
+    // Give the daemon time to admit the request, then TERM it while the
+    // compile is still sleeping. Keep stdin open: the daemon must exit
+    // from the signal, not from EOF.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let pid = child.id();
+    let term = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    let out = child.wait_with_output().expect("daemon exits");
+    drop(stdin);
+    assert!(
+        out.status.success(),
+        "SIGTERM must drain and exit 0, got {:?}; stderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines = stdout_lines(&out);
+    assert_eq!(lines.len(), 1, "in-flight request still answered: {lines:#?}");
+    assert_eq!(field(&lines[0], "id"), Some("before-term"));
+    assert_eq!(field(&lines[0], "status"), Some("ok"), "{}", lines[0]);
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("terminated by signal"), "{log}");
+}
+
+#[test]
+fn warm_restart_serves_from_disk_byte_identical() {
+    let dir = tmp_dir("warm");
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Cold daemon: compiles and persists.
+    let cold = serve(&["--cache-dir", &dir_s], &toffoli_request("cold", ""));
+    assert!(cold.status.success());
+    let cold_lines = stdout_lines(&cold);
+    assert_eq!(cold_lines.len(), 1);
+    assert!(cold_lines[0].contains("\"cache_hit\":false"), "{}", cold_lines[0]);
+    let cold_qasm = field(&cold_lines[0], "qasm").expect("cold row carries qasm").to_string();
+    let entries = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".qsc"))
+        .count();
+    assert_eq!(entries, 1, "one persisted entry");
+
+    // Warm daemon, new process: must hit the disk tier and emit
+    // byte-identical QASM.
+    let warm = serve(&["--cache-dir", &dir_s], &toffoli_request("warm", ""));
+    assert!(warm.status.success());
+    let warm_lines = stdout_lines(&warm);
+    assert_eq!(warm_lines.len(), 1);
+    assert!(
+        warm_lines[0].contains("\"cache_hit\":true"),
+        "restart must hit the disk cache: {}",
+        warm_lines[0]
+    );
+    assert_eq!(
+        field(&warm_lines[0], "qasm").expect("warm row carries qasm"),
+        cold_qasm,
+        "disk hit must be byte-identical to the cold compile"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_disk_entry_quarantines_and_recomputes_identically() {
+    let dir = tmp_dir("poison");
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Compile, persist — then poison this request's own entry via the
+    // service-boundary fault.
+    let cold = serve(
+        &["--cache-dir", &dir_s],
+        &toffoli_request("seed", ",\"inject\":\"poison-disk\""),
+    );
+    assert!(cold.status.success());
+    let cold_qasm = field(&stdout_lines(&cold)[0], "qasm").unwrap().to_string();
+
+    // Restart: the poisoned entry must be quarantined (never served), the
+    // request recomputed byte-identically, and a fresh entry written.
+    let warm = serve(&["--cache-dir", &dir_s], &toffoli_request("retry", ""));
+    assert!(warm.status.success());
+    let warm_lines = stdout_lines(&warm);
+    assert_eq!(warm_lines.len(), 1);
+    assert!(
+        warm_lines[0].contains("\"cache_hit\":false"),
+        "poisoned entry must not be served: {}",
+        warm_lines[0]
+    );
+    assert_eq!(field(&warm_lines[0], "qasm").unwrap(), cold_qasm);
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.ends_with(".quarantined")),
+        "poisoned entry kept as evidence: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.ends_with(".qsc")),
+        "fresh entry rewritten after recompute: {names:?}"
+    );
+
+    // Third run: the rewritten entry serves from disk again.
+    let third = serve(&["--cache-dir", &dir_s], &toffoli_request("third", ""));
+    assert!(third.status.success());
+    assert!(
+        stdout_lines(&third)[0].contains("\"cache_hit\":true"),
+        "{}",
+        stdout_lines(&third)[0]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_session_trace_validates_whole_sessions() {
+    let trace = std::env::temp_dir().join(format!("qsyn-serve-trace-{}.jsonl", std::process::id()));
+    let trace_s = trace.to_str().unwrap().to_string();
+    let trace_flag = format!("--trace={trace_s}");
+    let out = serve(
+        &[&trace_flag],
+        &format!(
+            "{}{}{}",
+            toffoli_request("t1", ",\"emit\":false"),
+            toffoli_request("t2", ",\"inject\":\"verify:panic\",\"emit\":false"),
+            toffoli_request("t3", ",\"cost\":\"volume\",\"emit\":false"),
+        ),
+    );
+    assert!(out.status.success());
+    assert_eq!(stdout_lines(&out).len(), 3);
+    // check-trace must accept the whole session: per-request job ids keep
+    // interleaved events attributable, and even the panicked request's
+    // partial event stream stays in Fig. 2 order.
+    let check = Command::new(env!("CARGO_BIN_EXE_qsyn"))
+        .args(["check-trace", &trace_s])
+        .output()
+        .expect("check-trace runs");
+    assert!(
+        check.status.success(),
+        "session trace must validate: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let _ = std::fs::remove_file(&trace);
+}
