@@ -675,6 +675,21 @@ fn scale_bench(scale_out: &str) {
     eprintln!("bench perf: wrote {scale_out}");
 }
 
+/// `BENCH_serve.json`: requests/s and latency percentiles of the serve
+/// execution path at 1/2/4 workers, cold vs. warm compile cache (see
+/// `qsyn_bench::serve_bench`).
+fn serve_bench_run(serve_out: &str) {
+    eprintln!("bench serve: daemon execution path (1/2/4 workers, cold vs warm)...");
+    let report = qsyn_bench::serve_bench::serve_report();
+    let text = format!("{report}\n");
+    if let Err(e) = std::fs::write(serve_out, &text) {
+        eprintln!("error: {serve_out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{text}");
+    eprintln!("bench serve: wrote {serve_out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(jobs) = jobs_from_args(&args) else {
@@ -697,19 +712,26 @@ fn main() {
         .filter(|v| !v.is_empty())
         .map(str::to_string)
         .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let serve_out = flag_value(&args, "--serve-out")
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
     match args.first().map(String::as_str) {
         Some("perf") => {
             perf(jobs, &out);
             cache_perf(&cache_out);
             routing_bench(&routing_out);
             scale_bench(&scale_out);
+            serve_bench_run(&serve_out);
         }
         Some("scale") => scale_bench(&scale_out),
+        Some("serve") => serve_bench_run(&serve_out),
         _ => {
             eprintln!(
                 "usage: bench perf [--jobs N] [--out FILE] [--cache-out FILE] \
-                 [--routing-out FILE] [--scale-out FILE]\n       \
-                 bench scale [--scale-out FILE]"
+                 [--routing-out FILE] [--scale-out FILE] [--serve-out FILE]\n       \
+                 bench scale [--scale-out FILE]\n       \
+                 bench serve [--serve-out FILE]"
             );
             std::process::exit(2);
         }

@@ -29,4 +29,5 @@ pub mod par;
 pub mod random;
 pub mod report;
 pub mod revlib;
+pub mod serve_bench;
 pub mod stg;

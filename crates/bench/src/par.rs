@@ -161,9 +161,45 @@ struct PoolInner {
     done: std::sync::Condvar,
 }
 
+// Pool utilization metrics in the process-wide registry: how many
+// workers exist, how many are busy right now, and the per-job run-time
+// distribution (utilization over a window = Σ `pool.job_run_us` delta /
+// (workers × window)). Handles are cached so the per-job overhead is a
+// few relaxed atomic ops.
+macro_rules! pool_metric {
+    ($fn_name:ident, counter, $name:literal) => {
+        fn $fn_name() -> &'static qsyn_trace::metrics::Counter {
+            static CELL: std::sync::OnceLock<std::sync::Arc<qsyn_trace::metrics::Counter>> =
+                std::sync::OnceLock::new();
+            CELL.get_or_init(|| qsyn_trace::metrics::global().counter($name))
+        }
+    };
+    ($fn_name:ident, gauge, $name:literal) => {
+        fn $fn_name() -> &'static qsyn_trace::metrics::Gauge {
+            static CELL: std::sync::OnceLock<std::sync::Arc<qsyn_trace::metrics::Gauge>> =
+                std::sync::OnceLock::new();
+            CELL.get_or_init(|| qsyn_trace::metrics::global().gauge($name))
+        }
+    };
+    ($fn_name:ident, histogram, $name:literal) => {
+        fn $fn_name() -> &'static qsyn_trace::metrics::Histogram {
+            static CELL: std::sync::OnceLock<std::sync::Arc<qsyn_trace::metrics::Histogram>> =
+                std::sync::OnceLock::new();
+            CELL.get_or_init(|| qsyn_trace::metrics::global().histogram($name))
+        }
+    };
+}
+
+pool_metric!(m_pool_workers, gauge, "pool.workers");
+pool_metric!(m_pool_busy, gauge, "pool.busy_workers");
+pool_metric!(m_pool_submitted, counter, "pool.jobs_submitted");
+pool_metric!(m_pool_completed, counter, "pool.jobs_completed");
+pool_metric!(m_pool_job_run, histogram, "pool.job_run_us");
+
 impl WorkerPool {
     /// A pool of `workers` threads (clamped to at least 1).
     pub fn new(workers: usize) -> WorkerPool {
+        m_pool_workers().set(workers.max(1) as i64);
         let inner = std::sync::Arc::new(PoolInner {
             state: Mutex::new(PoolState {
                 queue: std::collections::VecDeque::new(),
@@ -195,6 +231,7 @@ impl WorkerPool {
         assert!(!state.shutdown, "submit after shutdown");
         state.queue.push_back(Box::new(job));
         drop(state);
+        m_pool_submitted().inc();
         self.inner.work.notify_one();
     }
 
@@ -257,7 +294,12 @@ fn worker_loop(inner: &PoolInner) {
         };
         // Jobs report their own outcomes (including their own panics);
         // this outer barrier only guarantees the worker thread survives.
+        m_pool_busy().inc();
+        let job_started = std::time::Instant::now();
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        m_pool_job_run().record_duration(job_started.elapsed());
+        m_pool_busy().dec();
+        m_pool_completed().inc();
         let mut state = inner.state.lock().expect("pool poisoned");
         state.in_flight -= 1;
         drop(state);

@@ -199,44 +199,72 @@ impl<K: Eq + Hash + Clone, V: Clone> LruMap<K, V> {
 // Process-global cache statistics.
 // ---------------------------------------------------------------------------
 
+// Every per-layer counter is a named metric in the process-wide
+// [`qsyn_trace::metrics`] registry, so cache activity shows up live in
+// metrics snapshots (serve `--metrics-file`, `{"cmd":"metrics"}` polls)
+// rather than only in end-of-run `--cache-stats` renders. The accessor
+// caches the `Arc` handle in a `OnceLock`, keeping the bump sites at the
+// cost of two relaxed atomic ops after first use.
 macro_rules! stat_counters {
-    ($($name:ident),* $(,)?) => {
-        $(static $name: AtomicU64 = AtomicU64::new(0);)*
+    ($($name:ident => $metric:literal),* $(,)?) => {
+        $(
+            #[allow(non_snake_case)]
+            fn $name() -> &'static qsyn_trace::metrics::Counter {
+                static CELL: std::sync::OnceLock<std::sync::Arc<qsyn_trace::metrics::Counter>> =
+                    std::sync::OnceLock::new();
+                CELL.get_or_init(|| qsyn_trace::metrics::global().counter($metric))
+            }
+        )*
     };
 }
 
 stat_counters!(
-    ROUTING_BUILDS,
-    ROUTING_HITS,
-    ROUTING_EVICTIONS,
-    ORACLE_BUILDS,
-    ORACLE_HITS,
-    ORACLE_EVICTIONS,
-    DECOMPOSE_HITS,
-    DECOMPOSE_MISSES,
-    DECOMPOSE_EVICTIONS,
-    COMPILE_HITS,
-    COMPILE_MISSES,
-    COMPILE_INSERTS,
-    COMPILE_EVICTIONS,
-    DISK_HITS,
-    DISK_MISSES,
-    DISK_WRITES,
-    DISK_QUARANTINES,
+    ROUTING_BUILDS => "cache.routing_table.builds",
+    ROUTING_HITS => "cache.routing_table.hits",
+    ROUTING_EVICTIONS => "cache.routing_table.evictions",
+    ORACLE_BUILDS => "cache.oracle.builds",
+    ORACLE_HITS => "cache.oracle.hits",
+    ORACLE_EVICTIONS => "cache.oracle.evictions",
+    DECOMPOSE_LOOKUPS => "cache.decompose.lookups",
+    DECOMPOSE_HITS => "cache.decompose.hits",
+    DECOMPOSE_MISSES => "cache.decompose.misses",
+    DECOMPOSE_EVICTIONS => "cache.decompose.evictions",
+    COMPILE_LOOKUPS => "cache.compile.lookups",
+    COMPILE_HITS => "cache.compile.hits",
+    COMPILE_MISSES => "cache.compile.misses",
+    COMPILE_INSERTS => "cache.compile.inserts",
+    COMPILE_EVICTIONS => "cache.compile.evictions",
+    DISK_LOOKUPS => "cache.disk.lookups",
+    DISK_HITS => "cache.disk.hits",
+    DISK_MISSES => "cache.disk.misses",
+    DISK_WRITES => "cache.disk.writes",
+    DISK_QUARANTINES => "cache.disk.quarantines",
+    DISK_EVICTED_ENTRIES => "cache.disk.evicted_entries",
+    DISK_EVICTED_BYTES => "cache.disk.evicted_bytes",
 );
 
 /// Counter bumps for the on-disk persistence tier (`crate::persist`).
+/// Every load outcome — hit, miss, or quarantine — also counts one disk
+/// lookup, so `hits + misses + quarantines == lookups` holds by
+/// construction (`qsyn check-metrics` cross-checks it).
 pub(crate) fn note_disk_hit() {
-    DISK_HITS.fetch_add(1, Ordering::Relaxed);
+    DISK_LOOKUPS().inc();
+    DISK_HITS().inc();
 }
 pub(crate) fn note_disk_miss() {
-    DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+    DISK_LOOKUPS().inc();
+    DISK_MISSES().inc();
 }
 pub(crate) fn note_disk_write() {
-    DISK_WRITES.fetch_add(1, Ordering::Relaxed);
+    DISK_WRITES().inc();
 }
 pub(crate) fn note_disk_quarantine() {
-    DISK_QUARANTINES.fetch_add(1, Ordering::Relaxed);
+    DISK_LOOKUPS().inc();
+    DISK_QUARANTINES().inc();
+}
+pub(crate) fn note_disk_eviction(entries: u64, bytes: u64) {
+    DISK_EVICTED_ENTRIES().add(entries);
+    DISK_EVICTED_BYTES().add(bytes);
 }
 
 /// A point-in-time copy of the process-global per-layer cache counters.
@@ -278,6 +306,11 @@ pub struct CacheStatsSnapshot {
     /// Corrupted, truncated, stale or mismatched disk entries quarantined
     /// instead of trusted.
     pub disk_quarantines: u64,
+    /// Disk entries deleted by directory eviction (`--cache-max-bytes` /
+    /// `--cache-max-age`).
+    pub disk_evicted_entries: u64,
+    /// Bytes reclaimed by directory eviction.
+    pub disk_evicted_bytes: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -322,6 +355,12 @@ impl CacheStatsSnapshot {
             disk_misses: self.disk_misses.saturating_sub(earlier.disk_misses),
             disk_writes: self.disk_writes.saturating_sub(earlier.disk_writes),
             disk_quarantines: self.disk_quarantines.saturating_sub(earlier.disk_quarantines),
+            disk_evicted_entries: self
+                .disk_evicted_entries
+                .saturating_sub(earlier.disk_evicted_entries),
+            disk_evicted_bytes: self
+                .disk_evicted_bytes
+                .saturating_sub(earlier.disk_evicted_bytes),
         }
     }
 
@@ -346,14 +385,18 @@ impl CacheStatsSnapshot {
     }
 
     /// One-line-per-layer human-readable rendering (the `--cache-stats`
-    /// output).
+    /// output). Every layer's full counter set — including all four disk
+    /// counters and the eviction totals — is printed unconditionally,
+    /// even when the counters are all zero (a cold directory), so log
+    /// consumers can grep for a stable shape.
     pub fn render(&self) -> String {
         format!(
             "cache stats:\n  routing tables: {} built, {} reused, {} evicted\n  \
              sparse oracles: {} built, {} reused, {} evicted\n  \
              decompose memo: {} hits, {} misses ({:.0}% hit rate), {} evicted\n  \
              compile cache : {} hits, {} misses ({:.0}% hit rate), {} inserted, {} evicted\n  \
-             disk tier     : {} hits, {} misses, {} written, {} quarantined",
+             disk tier     : {} hits, {} misses, {} written, {} quarantined, \
+             {} evicted ({} bytes reclaimed)",
             self.routing_tables_built,
             self.routing_table_hits,
             self.routing_table_evictions,
@@ -373,31 +416,35 @@ impl CacheStatsSnapshot {
             self.disk_misses,
             self.disk_writes,
             self.disk_quarantines,
+            self.disk_evicted_entries,
+            self.disk_evicted_bytes,
         )
     }
 }
 
-/// Reads the process-global per-layer cache counters.
+/// Reads the process-global per-layer cache counters (a typed view over
+/// the `cache.*` metrics in [`qsyn_trace::metrics::global`]).
 pub fn stats() -> CacheStatsSnapshot {
-    let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
     CacheStatsSnapshot {
-        routing_tables_built: read(&ROUTING_BUILDS),
-        routing_table_hits: read(&ROUTING_HITS),
-        routing_table_evictions: read(&ROUTING_EVICTIONS),
-        routing_oracles_built: read(&ORACLE_BUILDS),
-        routing_oracle_hits: read(&ORACLE_HITS),
-        routing_oracle_evictions: read(&ORACLE_EVICTIONS),
-        decompose_memo_hits: read(&DECOMPOSE_HITS),
-        decompose_memo_misses: read(&DECOMPOSE_MISSES),
-        decompose_memo_evictions: read(&DECOMPOSE_EVICTIONS),
-        compile_hits: read(&COMPILE_HITS),
-        compile_misses: read(&COMPILE_MISSES),
-        compile_inserts: read(&COMPILE_INSERTS),
-        compile_evictions: read(&COMPILE_EVICTIONS),
-        disk_hits: read(&DISK_HITS),
-        disk_misses: read(&DISK_MISSES),
-        disk_writes: read(&DISK_WRITES),
-        disk_quarantines: read(&DISK_QUARANTINES),
+        routing_tables_built: ROUTING_BUILDS().get(),
+        routing_table_hits: ROUTING_HITS().get(),
+        routing_table_evictions: ROUTING_EVICTIONS().get(),
+        routing_oracles_built: ORACLE_BUILDS().get(),
+        routing_oracle_hits: ORACLE_HITS().get(),
+        routing_oracle_evictions: ORACLE_EVICTIONS().get(),
+        decompose_memo_hits: DECOMPOSE_HITS().get(),
+        decompose_memo_misses: DECOMPOSE_MISSES().get(),
+        decompose_memo_evictions: DECOMPOSE_EVICTIONS().get(),
+        compile_hits: COMPILE_HITS().get(),
+        compile_misses: COMPILE_MISSES().get(),
+        compile_inserts: COMPILE_INSERTS().get(),
+        compile_evictions: COMPILE_EVICTIONS().get(),
+        disk_hits: DISK_HITS().get(),
+        disk_misses: DISK_MISSES().get(),
+        disk_writes: DISK_WRITES().get(),
+        disk_quarantines: DISK_QUARANTINES().get(),
+        disk_evicted_entries: DISK_EVICTED_ENTRIES().get(),
+        disk_evicted_bytes: DISK_EVICTED_BYTES().get(),
     }
 }
 
@@ -651,7 +698,7 @@ pub fn routing_table(device: &Device, objective: RoutingObjective) -> (Arc<Routi
                 let cell: RoutingCell = Arc::new(OnceLock::new());
                 let evicted =
                     map.insert_weighted(key, cell.clone(), dense_bytes_estimate(device.n_qubits()));
-                ROUTING_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+                ROUTING_EVICTIONS().add(evicted);
                 cell
             }
         }
@@ -663,12 +710,12 @@ pub fn routing_table(device: &Device, objective: RoutingObjective) -> (Arc<Routi
     let table = cell
         .get_or_init(|| {
             built = true;
-            ROUTING_BUILDS.fetch_add(1, Ordering::Relaxed);
+            ROUTING_BUILDS().inc();
             Arc::new(RoutingTable::build(device, objective))
         })
         .clone();
     if !built {
-        ROUTING_HITS.fetch_add(1, Ordering::Relaxed);
+        ROUTING_HITS().inc();
     }
     (table, !built)
 }
@@ -974,7 +1021,7 @@ pub fn routing_oracle(device: &Device, objective: RoutingObjective) -> (Arc<Dist
                 let cell: OracleCell = Arc::new(OnceLock::new());
                 let evicted =
                     map.insert_weighted(key, cell.clone(), oracle_bytes_estimate(device.n_qubits()));
-                ORACLE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+                ORACLE_EVICTIONS().add(evicted);
                 cell
             }
         }
@@ -983,12 +1030,12 @@ pub fn routing_oracle(device: &Device, objective: RoutingObjective) -> (Arc<Dist
     let oracle = cell
         .get_or_init(|| {
             built = true;
-            ORACLE_BUILDS.fetch_add(1, Ordering::Relaxed);
+            ORACLE_BUILDS().inc();
             Arc::new(DistanceOracle::build(device, objective))
         })
         .clone();
     if !built {
-        ORACLE_HITS.fetch_add(1, Ordering::Relaxed);
+        ORACLE_HITS().inc();
     }
     (oracle, !built)
 }
@@ -1053,17 +1100,18 @@ pub fn mct_template(
     let key = (m, spare_len, strategy_tag(strategy));
     let registry = MCT_TEMPLATES.get_or_init(|| Mutex::new(LruMap::new(MCT_TEMPLATE_CAP)));
     let mut map = registry.lock().expect("MCT template registry poisoned");
+    DECOMPOSE_LOOKUPS().inc();
     if let Some(template) = map.get(&key) {
-        DECOMPOSE_HITS.fetch_add(1, Ordering::Relaxed);
+        DECOMPOSE_HITS().inc();
         return Ok((template, true));
     }
     let controls: Vec<usize> = (0..m).collect();
     let spare: Vec<usize> = (m + 1..m + 1 + spare_len).collect();
     let gates = crate::decompose::mct_decompose(&controls, m, &spare, strategy)?;
     let template = Arc::new(gates);
-    DECOMPOSE_MISSES.fetch_add(1, Ordering::Relaxed);
+    DECOMPOSE_MISSES().inc();
     let evicted = map.insert(key, template.clone());
-    DECOMPOSE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    DECOMPOSE_EVICTIONS().add(evicted);
     Ok((template, false))
 }
 
@@ -1116,13 +1164,14 @@ fn compile_cache() -> &'static Mutex<LruMap<u128, Arc<CompileResult>>> {
 /// hit or miss in the global stats.
 pub(crate) fn compile_cache_get(key: u128) -> Option<Arc<CompileResult>> {
     let mut map = compile_cache().lock().expect("compile cache poisoned");
+    COMPILE_LOOKUPS().inc();
     match map.get(&key) {
         Some(hit) => {
-            COMPILE_HITS.fetch_add(1, Ordering::Relaxed);
+            COMPILE_HITS().inc();
             Some(hit)
         }
         None => {
-            COMPILE_MISSES.fetch_add(1, Ordering::Relaxed);
+            COMPILE_MISSES().inc();
             None
         }
     }
@@ -1131,9 +1180,9 @@ pub(crate) fn compile_cache_get(key: u128) -> Option<Arc<CompileResult>> {
 /// Memoizes a successful compile under its content key.
 pub(crate) fn compile_cache_insert(key: u128, result: Arc<CompileResult>) {
     let mut map = compile_cache().lock().expect("compile cache poisoned");
-    COMPILE_INSERTS.fetch_add(1, Ordering::Relaxed);
+    COMPILE_INSERTS().inc();
     let evicted = map.insert(key, result);
-    COMPILE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    COMPILE_EVICTIONS().add(evicted);
 }
 
 #[cfg(test)]

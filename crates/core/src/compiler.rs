@@ -950,12 +950,14 @@ impl Compiler {
         counters: impl FnOnce(&mut Span),
     ) -> PassEvent {
         counters(&mut span);
-        span.finish(
+        let event = span.finish(
             input,
             output,
             self.cost.cost(&input.stats),
             self.cost.cost(&output.stats),
-        )
+        );
+        note_pass_metrics(&event);
+        event
     }
 
     /// Fails with a wall-clock [`CompileError::BudgetExceeded`] when the
@@ -1138,6 +1140,37 @@ impl Compiler {
                 }
             }
             other => other,
+        }
+    }
+}
+
+/// Feeds one closed pass span into the live metrics registry: a
+/// wall-time histogram per pass (`pass.<name>_us`) and, for routing
+/// events carrying a strategy tag, one per routing strategy
+/// (`route.<strategy>_us`). Cached compiles replay their events without
+/// re-closing spans, so replayed (zero-work) events never pollute these
+/// histograms.
+fn note_pass_metrics(e: &PassEvent) {
+    use qsyn_trace::metrics::{global, Histogram};
+    use std::sync::{Arc, OnceLock};
+    const PASSES: usize = Pass::FIG2_ORDER.len();
+    static PER_PASS: [OnceLock<Arc<Histogram>>; PASSES] = [const { OnceLock::new() }; PASSES];
+    static PER_STRATEGY: [OnceLock<Arc<Histogram>>; qsyn_trace::ROUTE_STRATEGY_NAMES.len()] =
+        [const { OnceLock::new() }; qsyn_trace::ROUTE_STRATEGY_NAMES.len()];
+    if let Some(i) = Pass::FIG2_ORDER.iter().position(|p| *p == e.pass) {
+        PER_PASS[i]
+            .get_or_init(|| global().histogram(&format!("pass.{}_us", e.pass.name())))
+            .record_seconds(e.seconds);
+    }
+    if e.pass == Pass::Route {
+        if let Some(name) = e.counter("strategy").and_then(qsyn_trace::route_strategy_name) {
+            let i = qsyn_trace::ROUTE_STRATEGY_NAMES
+                .iter()
+                .position(|n| *n == name)
+                .expect("strategy name comes from the table");
+            PER_STRATEGY[i]
+                .get_or_init(|| global().histogram(&format!("route.{name}_us")))
+                .record_seconds(e.seconds);
         }
     }
 }

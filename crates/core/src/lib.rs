@@ -66,7 +66,7 @@ pub use decompose::{
 pub use optimize::{
     optimize, optimize_bounded, optimize_traced, optimize_with, OptimizeConfig, OptimizeCounters,
 };
-pub use persist::{DiskCache, DiskLoad};
+pub use persist::{DiskCache, DiskLoad, EvictionSummary};
 pub use place::{place, Placement, PlacementStrategy};
 pub use remap::{
     route_circuit_persistent, route_circuit_persistent_traced, PersistentRouteCounters,

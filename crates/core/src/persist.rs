@@ -199,6 +199,86 @@ impl DiskCache {
         let raw = fs::read(&path)?;
         fs::write(&path, &raw[..raw.len() / 2])
     }
+
+    /// Scans the directory and deletes entries violating the given caps:
+    /// first every entry older than `max_age`, then — if the survivors
+    /// still exceed `max_bytes` — the oldest-mtime entries until the
+    /// directory fits. Quarantined files and temp files are left alone
+    /// (quarantines are evidence; temp files belong to in-flight writers).
+    ///
+    /// The daemon runs this once at startup (`--cache-max-bytes` /
+    /// `--cache-max-age`); deletions are counted in the
+    /// `cache.disk.evicted_entries` / `cache.disk.evicted_bytes` metrics.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors listing the directory. Per-entry stat or delete
+    /// failures are tolerated: an entry that vanishes mid-scan (another
+    /// process evicting concurrently) is simply skipped.
+    pub fn evict(
+        &self,
+        max_bytes: Option<u64>,
+        max_age: Option<std::time::Duration>,
+    ) -> io::Result<EvictionSummary> {
+        let now = std::time::SystemTime::now();
+        let mut entries: Vec<(PathBuf, std::time::SystemTime, u64)> = Vec::new();
+        for dirent in fs::read_dir(&self.dir)? {
+            let Ok(dirent) = dirent else { continue };
+            let path = dirent.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("qsc") {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(now);
+            entries.push((path, mtime, meta.len()));
+        }
+        let mut summary = EvictionSummary {
+            scanned: entries.len(),
+            ..EvictionSummary::default()
+        };
+        // Oldest first: the age pass walks a prefix of this order and the
+        // size pass continues from wherever it stopped.
+        entries.sort_by_key(|&(_, mtime, _)| mtime);
+        let mut total: u64 = entries.iter().map(|&(_, _, len)| len).sum();
+        for (path, mtime, len) in entries {
+            let too_old = max_age
+                .is_some_and(|cap| now.duration_since(mtime).is_ok_and(|age| age > cap));
+            let too_big = max_bytes.is_some_and(|cap| total > cap);
+            if !(too_old || too_big) {
+                summary.remaining += 1;
+                summary.remaining_bytes += len;
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= len;
+                summary.evicted += 1;
+                summary.evicted_bytes += len;
+            } else {
+                summary.remaining += 1;
+                summary.remaining_bytes += len;
+            }
+        }
+        crate::cache::note_disk_eviction(summary.evicted as u64, summary.evicted_bytes);
+        Ok(summary)
+    }
+}
+
+/// What one [`DiskCache::evict`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionSummary {
+    /// Entries found in the directory.
+    pub scanned: usize,
+    /// Entries deleted.
+    pub evicted: usize,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+    /// Entries kept.
+    pub remaining: usize,
+    /// Bytes still held by kept entries.
+    pub remaining_bytes: u64,
 }
 
 /// Renders the entry header for a payload.
@@ -618,6 +698,68 @@ mod tests {
         }
         // The legitimate entry is untouched.
         assert!(matches!(cache.load(eqn2_key), DiskLoad::Hit(_)));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn evict_by_age_clears_old_entries_and_spares_quarantines() {
+        let cache = DiskCache::open(tmp_dir("evict-age")).unwrap();
+        let result = toffoli_result();
+        for key in [21u128, 22, 23] {
+            cache.store(key, &result).unwrap();
+        }
+        // A quarantined file must survive any sweep (it is evidence).
+        fs::write(cache.dir().join("bad.qsc.quarantined"), b"junk").unwrap();
+        // max_age = 0 makes every entry "too old".
+        let summary = cache
+            .evict(None, Some(std::time::Duration::from_secs(0)))
+            .unwrap();
+        assert_eq!(summary.scanned, 3);
+        assert_eq!(summary.evicted, 3);
+        assert_eq!(summary.remaining, 0);
+        assert!(summary.evicted_bytes > 0);
+        assert!(cache.dir().join("bad.qsc.quarantined").exists());
+        for key in [21u128, 22, 23] {
+            assert!(!cache.entry_path(key).exists());
+        }
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn evict_by_bytes_removes_oldest_first() {
+        let cache = DiskCache::open(tmp_dir("evict-bytes")).unwrap();
+        let result = toffoli_result();
+        for key in [31u128, 32, 33] {
+            cache.store(key, &result).unwrap();
+            // Space the mtimes out past the filesystem's timestamp
+            // granularity so "oldest" is well defined.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let entry_len = fs::metadata(cache.entry_path(31)).unwrap().len();
+        // Cap at two entries' worth: the single oldest entry must go.
+        let summary = cache.evict(Some(entry_len * 2), None).unwrap();
+        assert_eq!(summary.evicted, 1, "{summary:?}");
+        assert_eq!(summary.remaining, 2);
+        assert!(!cache.entry_path(31).exists(), "oldest entry evicted");
+        assert!(cache.entry_path(32).exists());
+        assert!(cache.entry_path(33).exists());
+        assert!(summary.remaining_bytes <= entry_len * 2);
+        // A sweep with generous caps is a no-op.
+        let idle = cache.evict(Some(entry_len * 10), None).unwrap();
+        assert_eq!(idle.evicted, 0);
+        assert_eq!(idle.remaining, 2);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn eviction_bumps_the_global_counters() {
+        let cache = DiskCache::open(tmp_dir("evict-count")).unwrap();
+        cache.store(41, &toffoli_result()).unwrap();
+        let before = crate::cache::stats();
+        cache.evict(Some(0), None).unwrap();
+        let delta = crate::cache::stats().since(&before);
+        assert_eq!(delta.disk_evicted_entries, 1);
+        assert!(delta.disk_evicted_bytes > 0);
         let _ = fs::remove_dir_all(cache.dir());
     }
 

@@ -734,6 +734,37 @@ impl ServeResponse {
 // Execution.
 // ---------------------------------------------------------------------------
 
+// Per-request live metrics: registered once in the process-wide registry
+// (`qsyn_trace::metrics::global`), with the `Arc` handle cached behind a
+// `OnceLock` so the hot path is a couple of relaxed atomic adds.
+macro_rules! serve_metric {
+    ($fn_name:ident, $kind:ident, $name:literal) => {
+        fn $fn_name() -> &'static qsyn_trace::metrics::$kind {
+            static CELL: std::sync::OnceLock<Arc<qsyn_trace::metrics::$kind>> =
+                std::sync::OnceLock::new();
+            CELL.get_or_init(|| {
+                let reg = qsyn_trace::metrics::global();
+                serve_metric!(@get reg, $kind, $name)
+            })
+        }
+    };
+    (@get $reg:ident, Counter, $name:literal) => {
+        $reg.counter($name)
+    };
+    (@get $reg:ident, Histogram, $name:literal) => {
+        $reg.histogram($name)
+    };
+}
+
+serve_metric!(m_queue_wait, Histogram, "serve.queue_wait_us");
+serve_metric!(m_gate_wait, Histogram, "serve.gate_wait_us");
+serve_metric!(m_compile, Histogram, "serve.compile_us");
+serve_metric!(m_latency, Histogram, "serve.latency_us");
+serve_metric!(m_deadline_expired, Counter, "serve.deadline_expired");
+serve_metric!(m_panics, Counter, "serve.panics");
+serve_metric!(m_retries, Counter, "serve.retries");
+serve_metric!(m_cache_hits, Counter, "serve.cache_hits");
+
 /// Runs one parsed request to a response. Never panics: the compile runs
 /// under `catch_unwind`, and every failure mode (deadline in queue,
 /// deadline mid-compile, budget blow, panic) maps to a structured error
@@ -743,7 +774,29 @@ impl ServeResponse {
 /// deadlines are measured from there, so time spent queued behind other
 /// requests counts against the request — a request that waited out its
 /// deadline is answered without burning a worker on it.
+///
+/// Execution feeds the live metrics registry: `serve.queue_wait_us`
+/// (accept → worker pickup), `serve.gate_wait_us` (node-ceiling wait),
+/// `serve.compile_us` (compile attempts incl. the degradation retry),
+/// `serve.latency_us` (accept → response ready), and the
+/// `serve.deadline_expired` / `serve.panics` / `serve.retries` /
+/// `serve.cache_hits` counters.
 pub fn execute(
+    req: &ServeRequest,
+    job: u64,
+    accepted: Instant,
+    ctx: &ServeContext,
+) -> ServeResponse {
+    m_queue_wait().record_duration(accepted.elapsed());
+    let resp = execute_inner(req, job, accepted, ctx);
+    if matches!(resp.body, ResponseBody::Ok { cache_hit: true, .. }) {
+        m_cache_hits().inc();
+    }
+    m_latency().record_duration(accepted.elapsed());
+    resp
+}
+
+fn execute_inner(
     req: &ServeRequest,
     job: u64,
     accepted: Instant,
@@ -764,15 +817,19 @@ pub fn execute(
     let _permit = match &ctx.gate {
         Some(gate) => {
             let want = req.node_budget.unwrap_or(gate.ceiling());
-            match gate.acquire(want, deadline) {
+            let wait_started = Instant::now();
+            let acquired = gate.acquire(want, deadline);
+            m_gate_wait().record_duration(wait_started.elapsed());
+            match acquired {
                 Some(permit) => Some(permit),
                 None => {
+                    m_deadline_expired().inc();
                     return ServeResponse::error(
                         id,
                         job,
                         "deadline",
                         "deadline expired while queued for the node-budget ceiling",
-                    )
+                    );
                 }
             }
         }
@@ -783,6 +840,7 @@ pub fn execute(
         Some(deadline) => {
             let now = Instant::now();
             if now >= deadline {
+                m_deadline_expired().inc();
                 return ServeResponse::error(
                     id,
                     job,
@@ -847,6 +905,7 @@ pub fn execute(
     };
 
     let mut retried = false;
+    let compile_started = Instant::now();
     let mut outcome = attempt(req.node_budget);
     // Retry-with-degradation: an Unverified verdict earns one automatic
     // retry at the next ladder rung — double the node budget — before the
@@ -857,6 +916,7 @@ pub fn execute(
             let deadline_left = deadline.is_none_or(|d| Instant::now() < d);
             if result.verdict().is_unverified() && deadline_left {
                 retried = true;
+                m_retries().inc();
                 let second = attempt(Some(nb.saturating_mul(2)));
                 // Keep the retry only when it improved on Unverified; the
                 // original (explicitly unverified) result is still the
@@ -869,8 +929,13 @@ pub fn execute(
         }
     }
 
+    m_compile().record_duration(compile_started.elapsed());
+
     match outcome {
-        Err(panic) => ServeResponse::error(id, job, "panic", panic),
+        Err(panic) => {
+            m_panics().inc();
+            ServeResponse::error(id, job, "panic", panic)
+        }
         Ok(Err(e)) => ServeResponse::error(id, job, "compile", e.to_string()),
         Ok(Ok(result)) => {
             let qasm = if req.emit_qasm {

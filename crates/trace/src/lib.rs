@@ -37,6 +37,7 @@
 
 mod event;
 pub mod json;
+pub mod metrics;
 mod sink;
 pub mod streaming;
 

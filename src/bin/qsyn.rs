@@ -66,7 +66,8 @@ USAGE:
              [--deadline SECONDS] [--node-budget NODES] [--max-swaps N]
              [--cache off|tables|mem] [--cache-dir DIR] [--trace[=FILE]]
              [--max-line-bytes N] [--no-retry] [--no-emit] [--strict-verify]
-             [--cache-stats]
+             [--cache-stats] [--metrics-file FILE]
+             [--cache-max-bytes BYTES] [--cache-max-age SECONDS]
       Long-running compilation daemon: one JSON request per stdin line,
       one JSON response per request on stdout (completion order; match
       rows to requests by the echoed `id`). Every request is fault-
@@ -82,6 +83,30 @@ USAGE:
       stdin EOF or SIGTERM the daemon drains in-flight requests, answers
       unadmitted lines with `shutting-down` rows, and exits 0. See
       docs/ROBUSTNESS.md for the request/response schema.
+      --metrics-file FILE rewrites FILE atomically (about once a second,
+      and once more on drain) with a JSON metrics snapshot — counters,
+      queue-depth gauge, and latency histograms (docs/OBSERVABILITY.md);
+      a client on the JSONL connection can instead poll a live snapshot
+      with the control row {{\"cmd\":\"metrics\"}}. --cache-max-bytes /
+      --cache-max-age evict the oldest --cache-dir entries at startup
+      until the tier fits the byte cap and nothing exceeds the age cap.
+
+  qsyn report <file> [--prometheus]
+      Human metrics table from either input shape (sniffed): a metrics
+      snapshot (--metrics-file output or a {{\"cmd\":\"metrics\"}} poll
+      row) or a --trace JSONL stream, whose pass events are replayed
+      into per-pass and per-strategy histograms. Shows count / mean /
+      p50 / p95 / p99 per latency histogram (microseconds) and cache
+      hit rates. --prometheus renders a snapshot in Prometheus text
+      exposition format instead.
+
+  qsyn check-metrics <file>
+      Validate a metrics snapshot: schema tag, histogram internal
+      consistency (count equals the sum of its bucket counts, indices
+      in range and ascending), cache accounting (hits + misses +
+      quarantines == lookups per layer), and serve accounting (rows
+      written never exceed requests; a drained snapshot has an empty
+      queue). Exits 1 listing every violated invariant.
 
   qsyn check <a> <b> [--miter] [--ancilla 2,3]
       QMDD formal equivalence check of two circuit files; --miter uses the
@@ -596,7 +621,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "cache",
             "cache-dir",
             "max-line-bytes",
-            "trace"
+            "trace",
+            "metrics-file",
+            "cache-max-bytes",
+            "cache-max-age"
         ]
     );
     if !pos.is_empty() {
@@ -651,17 +679,65 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         },
     }
+    let cache_max_bytes = match flag(&flags, "cache-max-bytes") {
+        None => None,
+        Some(spec) => match spec.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("error: bad --cache-max-bytes `{spec}` (want a byte count)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let cache_max_age = match flag(&flags, "cache-max-age") {
+        None => None,
+        Some(spec) => match spec.parse::<f64>() {
+            Ok(secs) if secs.is_finite() && secs >= 0.0 => {
+                Some(std::time::Duration::from_secs_f64(secs))
+            }
+            _ => {
+                eprintln!("error: bad --cache-max-age `{spec}` (want seconds, e.g. 86400)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if (cache_max_bytes.is_some() || cache_max_age.is_some()) && flag(&flags, "cache-dir").is_none()
+    {
+        eprintln!("error: --cache-max-bytes/--cache-max-age need --cache-dir");
+        return ExitCode::from(2);
+    }
     if let Some(dir) = flag(&flags, "cache-dir") {
         // The disk tier sits under the whole-compile memo, so it requires
         // the mem layer; --cache-dir implies it rather than erroring.
         opts.defaults.cache = CacheMode::Mem;
         match qsyn::core::DiskCache::open(std::path::Path::new(dir)) {
-            Ok(disk) => opts.disk = Some(std::sync::Arc::new(disk)),
+            Ok(disk) => {
+                // Startup eviction: trim the tier to the configured caps
+                // before serving, oldest entries first.
+                if cache_max_bytes.is_some() || cache_max_age.is_some() {
+                    match disk.evict(cache_max_bytes, cache_max_age) {
+                        Ok(ev) => eprintln!(
+                            "disk cache: evicted {} of {} entries ({} bytes reclaimed), \
+                             {} entries ({} bytes) remain",
+                            ev.evicted, ev.scanned, ev.evicted_bytes, ev.remaining,
+                            ev.remaining_bytes
+                        ),
+                        Err(e) => {
+                            eprintln!("error: --cache-dir {dir}: eviction failed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                opts.disk = Some(std::sync::Arc::new(disk));
+            }
             Err(e) => {
                 eprintln!("error: --cache-dir {dir}: {e}");
                 return ExitCode::from(2);
             }
         }
+    }
+    if let Some(path) = flag(&flags, "metrics-file") {
+        opts.metrics_file = Some(std::path::PathBuf::from(path));
     }
     opts.defaults.retry = flag(&flags, "no-retry").is_none();
     opts.defaults.emit_qasm = flag(&flags, "no-emit").is_none();
@@ -684,12 +760,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     match qsyn::serve::run(input, stdout.lock(), opts) {
         Ok(summary) => {
             eprintln!(
-                "served {} requests: {} ok, {} errors ({} overloaded, {} shed){}",
+                "served {} requests: {} ok, {} errors ({} overloaded, {} shed), \
+                 {} metrics polls{}",
                 summary.requests,
                 summary.ok,
                 summary.errors,
                 summary.overloaded,
                 summary.shed,
+                summary.metrics_polls,
                 if summary.terminated {
                     ", terminated by signal"
                 } else {
@@ -1000,6 +1078,84 @@ fn cmd_check_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_report(args: &[String]) -> ExitCode {
+    let (pos, flags) = parse_or_exit!(args, &["prometheus"], &[]);
+    let [input] = pos.as_slice() else { usage() };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (snap, source) = match qsyn::report::load(&text) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flag(&flags, "prometheus").is_some() {
+        print!("{}", snap.render_prometheus());
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "{}: {}",
+        input,
+        match source {
+            qsyn::report::ReportSource::Snapshot => "metrics snapshot",
+            qsyn::report::ReportSource::Trace =>
+                "trace stream (histograms rebuilt from pass events)",
+        }
+    );
+    print!("{}", qsyn::report::render(&snap));
+    ExitCode::SUCCESS
+}
+
+fn cmd_check_metrics(args: &[String]) -> ExitCode {
+    let (pos, _) = parse_or_exit!(args, &[], &[]);
+    let [input] = pos.as_slice() else { usage() };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (snap, source) = match qsyn::report::load(&text) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if source != qsyn::report::ReportSource::Snapshot {
+        eprintln!(
+            "error: {input}: not a `{}` metrics snapshot (check-trace validates trace streams)",
+            qsyn::report::METRICS_SCHEMA
+        );
+        return ExitCode::FAILURE;
+    }
+    match qsyn::report::check_snapshot(&snap) {
+        Ok(checks) => {
+            eprintln!(
+                "{}: {} metrics ({} histograms), {} invariants hold",
+                input,
+                snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+                snap.histograms.len(),
+                checks.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("error: {input}: violated: {v}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_synth(args: &[String]) -> ExitCode {
     let (pos, flags) = parse_or_exit!(args, &[], &["out"]);
     let [hex, vars] = pos.as_slice() else { usage() };
@@ -1099,6 +1255,8 @@ fn main() -> ExitCode {
             "serve" => cmd_serve(rest),
             "check" => cmd_check(rest),
             "check-trace" => cmd_check_trace(rest),
+            "report" => cmd_report(rest),
+            "check-metrics" => cmd_check_metrics(rest),
             "stats" => cmd_stats(rest),
             "synth" => cmd_synth(rest),
             "dot" => cmd_dot(rest),

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod serve;
 
 pub use qsyn_arch as arch;

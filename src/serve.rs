@@ -20,12 +20,29 @@
 //!
 //! Responses are written in **completion order**, not arrival order —
 //! clients correlate by the echoed `id` field (that is what it is for).
+//!
+//! The daemon is also a metrics surface. Every session feeds the
+//! process-wide registry (`qsyn_trace::metrics`): `serve.requests` /
+//! `serve.responses_ok` / `serve.responses_error` / `serve.overloaded` /
+//! `serve.shed` counters, a `serve.queue_depth` gauge, and the latency
+//! histograms recorded by [`qsyn_core::serve::execute`]. Two surfaces
+//! expose it live: `--metrics-file FILE` (periodic atomic snapshot
+//! rewrite, final snapshot on drain) and the `{"cmd":"metrics"}` control
+//! row, which a client sends over the same JSONL connection to get a
+//! `status: metrics` row carrying the snapshot. Control rows are not
+//! compile requests — they do not count toward `serve.requests`, so the
+//! invariant `serve.requests == serve.responses_ok +
+//! serve.responses_error` holds in every drained snapshot
+//! (`qsyn check-metrics` verifies exactly this).
 
 use qsyn_bench::par::WorkerPool;
 use qsyn_core::serve::{
     parse_request, NodeBudgetGate, ServeContext, ServeDefaults, ServeResponse,
 };
+use qsyn_trace::json::Value;
+use qsyn_trace::metrics;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -52,6 +69,12 @@ pub struct ServeOptions {
     pub trace: Option<Arc<dyn qsyn_trace::TraceSink>>,
     /// Global in-flight node-budget ceiling.
     pub node_ceiling: Option<usize>,
+    /// When set, the daemon rewrites this file with a JSON metrics
+    /// snapshot periodically and once more after the drain (atomic
+    /// temp-and-rename, so readers never see a torn snapshot).
+    pub metrics_file: Option<PathBuf>,
+    /// Rewrite cadence for `metrics_file`.
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +87,8 @@ impl Default for ServeOptions {
             disk: None,
             trace: None,
             node_ceiling: None,
+            metrics_file: None,
+            metrics_interval: Duration::from_secs(1),
         }
     }
 }
@@ -81,8 +106,66 @@ pub struct ServeSummary {
     pub overloaded: u64,
     /// Lines answered with `shutting-down` rows during the drain.
     pub shed: u64,
+    /// `{"cmd":"metrics"}` control rows answered with snapshots.
+    pub metrics_polls: u64,
     /// Whether the session ended on SIGTERM rather than EOF.
     pub terminated: bool,
+}
+
+// Session-level metrics handles (the per-request histograms live in
+// `qsyn_core::serve`); cached so the per-line cost is one atomic add.
+macro_rules! session_metric {
+    ($fn_name:ident, counter, $name:literal) => {
+        fn $fn_name() -> &'static metrics::Counter {
+            static CELL: std::sync::OnceLock<Arc<metrics::Counter>> = std::sync::OnceLock::new();
+            CELL.get_or_init(|| metrics::global().counter($name))
+        }
+    };
+    ($fn_name:ident, gauge, $name:literal) => {
+        fn $fn_name() -> &'static metrics::Gauge {
+            static CELL: std::sync::OnceLock<Arc<metrics::Gauge>> = std::sync::OnceLock::new();
+            CELL.get_or_init(|| metrics::global().gauge($name))
+        }
+    };
+}
+
+session_metric!(m_requests, counter, "serve.requests");
+session_metric!(m_responses_ok, counter, "serve.responses_ok");
+session_metric!(m_responses_error, counter, "serve.responses_error");
+session_metric!(m_overloaded, counter, "serve.overloaded");
+session_metric!(m_shed, counter, "serve.shed");
+session_metric!(m_metrics_polls, counter, "serve.metrics_polls");
+session_metric!(m_queue_depth, gauge, "serve.queue_depth");
+
+/// Renders the `status: metrics` response row for a `{"cmd":"metrics"}`
+/// poll: the full registry snapshot inline, correlated like any other
+/// row by `id` and `job`.
+fn metrics_row(id: Option<String>, job: u64) -> String {
+    Value::Obj(vec![
+        (
+            "id".to_string(),
+            id.map_or(Value::Null, Value::Str),
+        ),
+        ("job".to_string(), Value::Num(job as f64)),
+        ("status".to_string(), Value::Str("metrics".to_string())),
+        ("metrics".to_string(), metrics::global().snapshot().to_json()),
+    ])
+    .to_string()
+}
+
+/// Atomically rewrites `path` with the current metrics snapshot: the
+/// JSON is written to a temp file next to the target and renamed over
+/// it, so a concurrent reader sees the old snapshot or the new one,
+/// never a torn file.
+fn write_metrics_file(path: &Path) -> std::io::Result<()> {
+    let mut text = metrics::global().snapshot().to_json().to_string();
+    text.push('\n');
+    let tmp = path.with_file_name(format!(
+        ".tmp-metrics-{}",
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Runs a serving session over the given byte streams until EOF or
@@ -140,19 +223,28 @@ pub fn run(
      -> std::io::Result<()> {
         if row.is_ok() {
             summary.ok += 1;
+            m_responses_ok().inc();
         } else {
             summary.errors += 1;
+            m_responses_error().inc();
         }
         writeln!(output, "{}", row.render())?;
         output.flush()
     };
 
     let mut next_job: u64 = 0;
+    let mut last_metrics = Instant::now();
     loop {
         // Deliver any finished responses first so completion latency does
         // not depend on new requests arriving.
         while let Ok(row) = resp_rx.try_recv() {
             write_row(&mut output, &mut summary, &row)?;
+        }
+        if let Some(path) = &opts.metrics_file {
+            if last_metrics.elapsed() >= opts.metrics_interval {
+                write_metrics_file(path)?;
+                last_metrics = Instant::now();
+            }
         }
         if SHUTDOWN.load(Ordering::SeqCst) {
             summary.terminated = true;
@@ -173,6 +265,7 @@ pub fn run(
         let accepted = Instant::now();
 
         if line.len() > opts.max_line_bytes {
+            m_requests().inc();
             let row = ServeResponse::error(
                 None,
                 job,
@@ -186,6 +279,34 @@ pub fn run(
             write_row(&mut output, &mut summary, &row)?;
             continue;
         }
+        // Control rows: a line with a top-level "cmd" key is a directive
+        // to the daemon, not a compile request. The substring test is a
+        // cheap pre-filter; the parse confirms the key is top-level (a
+        // circuit string containing "cmd" falls through to the normal
+        // path below).
+        if line.contains("\"cmd\"") {
+            if let Some(v) = qsyn_trace::json::parse(line.trim()).ok().filter(|v| v.get("cmd").is_some()) {
+                let id = v.get("id").and_then(|i| i.as_str().map(str::to_string));
+                let cmd = v.get("cmd").and_then(|c| c.as_str()).unwrap_or("");
+                if cmd == "metrics" {
+                    summary.metrics_polls += 1;
+                    m_metrics_polls().inc();
+                    writeln!(output, "{}", metrics_row(id, job))?;
+                    output.flush()?;
+                } else {
+                    m_requests().inc();
+                    let row = ServeResponse::error(
+                        id,
+                        job,
+                        "bad-value",
+                        format!("unknown cmd {cmd:?}; the daemon understands \"metrics\""),
+                    );
+                    write_row(&mut output, &mut summary, &row)?;
+                }
+                continue;
+            }
+        }
+        m_requests().inc();
         let req = match parse_request(&line, &opts.defaults) {
             Ok(req) => req,
             Err(e) => {
@@ -197,6 +318,7 @@ pub fn run(
         // Admission control: shed load instead of queueing without bound.
         if pool.pending() >= opts.queue_cap {
             summary.overloaded += 1;
+            m_overloaded().inc();
             let row = ServeResponse::error(
                 Some(req.id.clone()),
                 job,
@@ -212,8 +334,10 @@ pub fn run(
         }
         let ctx = Arc::clone(&ctx);
         let resp_tx = resp_tx.clone();
+        m_queue_depth().inc();
         pool.submit(move || {
             let row = qsyn_core::serve::execute(&req, job, accepted, &ctx);
+            m_queue_depth().dec();
             // The coordinator may already have exited on a write error;
             // dropping the row is then the only option.
             let _ = resp_tx.send(row);
@@ -230,6 +354,8 @@ pub fn run(
         }
         summary.requests += 1;
         summary.shed += 1;
+        m_requests().inc();
+        m_shed().inc();
         let job = next_job;
         next_job += 1;
         let id = qsyn_trace::json::parse(line.trim())
@@ -245,6 +371,12 @@ pub fn run(
         write_row(&mut output, &mut summary, &row)?;
     }
     pool.shutdown();
+    // Final snapshot after the drain: every in-flight compile has
+    // delivered its row, so the queue-depth gauge is back to zero and
+    // requests == responses_ok + responses_error holds in the file.
+    if let Some(path) = &opts.metrics_file {
+        write_metrics_file(path)?;
+    }
     // The reader may still be blocked on read_line (SIGTERM path with the
     // terminal open); it exits on the next line or EOF. Joining would
     // hang, so it is detached by dropping the handle — but on the EOF
@@ -311,6 +443,64 @@ mod tests {
         let (summary, lines) = run_session(input, ServeOptions::default());
         assert_eq!(summary.requests, 1);
         assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn metrics_control_row_returns_snapshot() {
+        let input = format!(
+            "{}\n{{\"id\":\"m1\",\"cmd\":\"metrics\"}}\n{{\"cmd\":\"flush\"}}\n",
+            toffoli_line("a")
+        );
+        let (summary, lines) = run_session(input, ServeOptions::default());
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.metrics_polls, 1);
+        assert_eq!(lines.len(), 3);
+        let poll = lines
+            .iter()
+            .find(|l| l.contains("\"status\":\"metrics\""))
+            .expect("metrics row present");
+        assert!(poll.contains("\"id\":\"m1\""), "{poll}");
+        assert!(poll.contains("qsyn-metrics/1"), "{poll}");
+        // The snapshot carried inline is a valid metrics document.
+        let v = qsyn_trace::json::parse(poll).expect("row parses");
+        let snap = metrics::MetricsSnapshot::from_json(v.get("metrics").expect("metrics field"))
+            .expect("snapshot parses");
+        assert!(snap.counter("serve.metrics_polls").unwrap_or(0) >= 1);
+        // Unknown commands get an error row, not silence.
+        assert!(
+            lines.iter().any(|l| l.contains("\"kind\":\"bad-value\"")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_file_is_written_on_drain() {
+        let dir = std::env::temp_dir().join(format!("qsyn-serve-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.json");
+        let opts = ServeOptions {
+            metrics_file: Some(path.clone()),
+            ..ServeOptions::default()
+        };
+        let before = metrics::global().snapshot();
+        let (summary, _lines) = run_session(format!("{}\n", toffoli_line("f")), opts);
+        assert_eq!(summary.ok, 1);
+        let text = std::fs::read_to_string(&path).expect("metrics file written");
+        let snap = metrics::MetricsSnapshot::from_json(
+            &qsyn_trace::json::parse(&text).expect("file parses"),
+        )
+        .expect("snapshot parses");
+        // Delta over this session: one request, one ok row, queue drained.
+        // (The registry is process-global, so other tests in this binary
+        // contribute to absolute values; deltas isolate this session.)
+        let delta = snap.since(&before);
+        assert!(delta.counter("serve.requests").unwrap_or(0) >= 1);
+        // Other tests in this binary may have jobs in flight at the
+        // moment of the final write, so only presence is checked here;
+        // the e2e test (own process) checks the drained value is zero.
+        assert!(snap.gauge("serve.queue_depth").is_some());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

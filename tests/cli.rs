@@ -487,3 +487,91 @@ fn compile_report_renders_the_stage_table() {
     }
     assert!(log.contains("QMDD verification: passed"), "{log}");
 }
+
+#[test]
+fn report_renders_tables_from_snapshot_and_trace_files() {
+    // Trace source: compile with --trace, then `qsyn report` on the JSONL
+    // renders per-pass latency rows replayed into histograms.
+    let input = tmp("rep1.real", TOFFOLI_REAL);
+    let trace = tmp("rep1.trace.jsonl", "");
+    let out = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        &format!("--trace={}", trace.to_str().unwrap()),
+    ]);
+    assert!(out.status.success());
+    let report = qsyn(&["report", trace.to_str().unwrap()]);
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let text = String::from_utf8_lossy(&report.stdout);
+    for name in ["pass.place_us", "pass.route_us", "p50", "p95", "p99"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    assert!(
+        String::from_utf8_lossy(&report.stderr).contains("trace"),
+        "source kind announced on stderr"
+    );
+
+    // Snapshot source: a hand-built snapshot renders counters and hit
+    // rates; --prometheus switches to the exposition format.
+    let snap = tmp(
+        "rep1.metrics.json",
+        "{\"schema\":\"qsyn-metrics/1\",\
+          \"counters\":{\"cache.compile.lookups\":10,\"cache.compile.hits\":4,\
+                        \"cache.compile.misses\":6},\
+          \"gauges\":{\"serve.queue_depth\":0},\"histograms\":{}}",
+    );
+    let rendered = qsyn(&["report", snap.to_str().unwrap()]);
+    assert!(rendered.status.success());
+    let text = String::from_utf8_lossy(&rendered.stdout);
+    assert!(text.contains("40.0%"), "hit rate computed:\n{text}");
+    let prom = qsyn(&["report", snap.to_str().unwrap(), "--prometheus"]);
+    assert!(prom.status.success());
+    let text = String::from_utf8_lossy(&prom.stdout);
+    assert!(
+        text.contains("qsyn_cache_compile_lookups 10"),
+        "prometheus exposition:\n{text}"
+    );
+}
+
+#[test]
+fn check_metrics_accepts_valid_snapshots_and_names_violations() {
+    let good = tmp(
+        "cm-good.json",
+        "{\"schema\":\"qsyn-metrics/1\",\
+          \"counters\":{\"serve.requests\":3,\"serve.responses_ok\":2,\
+                        \"serve.responses_error\":1},\
+          \"gauges\":{\"serve.queue_depth\":0},\"histograms\":{}}",
+    );
+    let ok = qsyn(&["check-metrics", good.to_str().unwrap()]);
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(
+        String::from_utf8_lossy(&ok.stderr).contains("invariants hold"),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // More responses than requests: a reconciliation violation, named.
+    let bad = tmp(
+        "cm-bad.json",
+        "{\"schema\":\"qsyn-metrics/1\",\
+          \"counters\":{\"serve.requests\":1,\"serve.responses_ok\":2,\
+                        \"serve.responses_error\":1},\
+          \"gauges\":{},\"histograms\":{}}",
+    );
+    let fail = qsyn(&["check-metrics", bad.to_str().unwrap()]);
+    assert!(!fail.status.success(), "violations must exit nonzero");
+    let log = String::from_utf8_lossy(&fail.stderr);
+    assert!(log.contains("violated"), "{log}");
+    assert!(log.contains("responses 3 <= requests 1"), "{log}");
+
+    // A wrong schema tag is a parse error, not a silent pass.
+    let wrong = tmp("cm-wrong.json", "{\"schema\":\"other/9\",\"counters\":{}}");
+    let rejected = qsyn(&["check-metrics", wrong.to_str().unwrap()]);
+    assert!(!rejected.status.success());
+}

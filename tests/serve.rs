@@ -292,6 +292,143 @@ fn poisoned_disk_entry_quarantines_and_recomputes_identically() {
 }
 
 #[test]
+fn live_metrics_poll_reconciles_with_response_rows() {
+    // A mixed batch with a live `{"cmd":"metrics"}` poll in the middle:
+    // two good requests, one parse error, one unknown control command.
+    // The daemon answers all five lines; the poll row carries a snapshot;
+    // the drained metrics file reconciles exactly with the response rows
+    // and passes `qsyn check-metrics` — as does the poll row itself.
+    let dir = tmp_dir("metrics");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("metrics.json");
+    let metrics_s = metrics_path.to_str().unwrap().to_string();
+    let batch = format!(
+        "{}not json at all\n{{\"id\":\"poll\",\"cmd\":\"metrics\"}}\n{{\"cmd\":\"bogus\"}}\n{}",
+        toffoli_request("m-1", ",\"emit\":false"),
+        toffoli_request("m-2", ",\"emit\":false"),
+    );
+    let out = serve(&["--workers", "2", "--metrics-file", &metrics_s], &batch);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines = stdout_lines(&out);
+    assert_eq!(lines.len(), 5, "5 input lines, 5 rows: {lines:#?}");
+
+    // The poll row is a live snapshot, not a compile response.
+    let poll = lines
+        .iter()
+        .find(|l| field(l, "id") == Some("poll"))
+        .expect("poll row present");
+    assert_eq!(field(poll, "status"), Some("metrics"), "{poll}");
+    let (live, source) = qsyn::report::load(poll).expect("poll row parses as a snapshot");
+    assert_eq!(source, qsyn::report::ReportSource::Snapshot);
+    assert_eq!(live.counter("serve.metrics_polls"), Some(1));
+
+    // The drained metrics file reconciles with what we saw on stdout.
+    let file_text = std::fs::read_to_string(&metrics_path).expect("metrics file written on drain");
+    let (snap, _) = qsyn::report::load(&file_text).expect("metrics file parses");
+    assert_eq!(snap.counter("serve.requests"), Some(4), "2 ok + 2 errors");
+    assert_eq!(snap.counter("serve.responses_ok"), Some(2));
+    assert_eq!(snap.counter("serve.responses_error"), Some(2));
+    assert_eq!(snap.counter("serve.metrics_polls"), Some(1));
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(0), "drained");
+    let hit_rows = lines
+        .iter()
+        .filter(|l| l.contains("\"cache_hit\":true"))
+        .count() as u64;
+    assert_eq!(
+        snap.counter("serve.cache_hits").unwrap_or(0),
+        hit_rows,
+        "cache_hits counter matches the cache_hit fields on stdout"
+    );
+    let lat = snap.histogram("serve.latency_us").expect("latency recorded");
+    assert_eq!(lat.count, 2, "one latency sample per executed request");
+
+    // Both snapshots pass the schema + invariant checker binary.
+    let poll_file = dir.join("poll.json");
+    std::fs::write(&poll_file, poll).expect("poll row written");
+    for path in [&metrics_path, &poll_file] {
+        let check = Command::new(env!("CARGO_BIN_EXE_qsyn"))
+            .args(["check-metrics", path.to_str().unwrap()])
+            .output()
+            .expect("check-metrics runs");
+        assert!(
+            check.status.success(),
+            "{path:?} must validate: {}",
+            String::from_utf8_lossy(&check.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&check.stderr).contains("invariants hold"),
+            "{}",
+            String::from_utf8_lossy(&check.stderr)
+        );
+    }
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("1 metrics polls"), "{log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn startup_eviction_trims_the_disk_cache_to_caps() {
+    let dir = tmp_dir("evict");
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Populate the tier with two distinct entries (node_budget is part of
+    // the compile-cache key, so these persist separately).
+    let seed = serve(
+        &["--cache-dir", &dir_s],
+        &format!(
+            "{}{}",
+            toffoli_request("e-1", ""),
+            toffoli_request("e-2", ",\"node_budget\":50000"),
+        ),
+    );
+    assert!(seed.status.success());
+    let qsc_count = |dir: &PathBuf| {
+        std::fs::read_dir(dir)
+            .expect("cache dir exists")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".qsc"))
+            .count()
+    };
+    assert_eq!(qsc_count(&dir), 2, "two persisted entries");
+
+    // Restart with a zero byte budget: startup eviction must clear the
+    // tier before serving and report what it reclaimed.
+    let evict = serve(&["--cache-dir", &dir_s, "--cache-max-bytes", "0"], "");
+    assert!(
+        evict.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&evict.stderr)
+    );
+    let log = String::from_utf8_lossy(&evict.stderr);
+    assert!(
+        log.contains("disk cache: evicted 2 of 2 entries"),
+        "startup eviction reported: {log}"
+    );
+    assert_eq!(qsc_count(&dir), 0, "tier emptied");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cold_cache_stats_still_report_every_disk_counter() {
+    // A daemon that serves nothing must still print the full disk-tier
+    // stats line — zeros included — so dashboards scraping the summary
+    // never see a missing series.
+    let dir = tmp_dir("coldstats");
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = serve(&["--cache-dir", &dir_s, "--cache-stats"], "");
+    assert!(out.status.success());
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("disk tier"), "{log}");
+    assert!(log.contains("quarantined"), "{log}");
+    assert!(log.contains("evicted ("), "{log}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_session_trace_validates_whole_sessions() {
     let trace = std::env::temp_dir().join(format!("qsyn-serve-trace-{}.jsonl", std::process::id()));
     let trace_s = trace.to_str().unwrap().to_string();
