@@ -419,8 +419,17 @@ fn perf(jobs: usize, out: &str) {
 /// Gate count of the scale section's streaming compile (overridable with
 /// `QSYN_SCALE_STREAM_GATES` for quick local runs).
 const STREAM_GATES: usize = 1_000_000;
-/// Input gates per streaming window.
-const STREAM_WINDOW: usize = 512;
+/// Input gates per streaming window. Narrow windows keep each window's
+/// miter support small (~1.5× the window for the grid stream), which is
+/// what lets support-restricted verification walk a ~96-line QMDD
+/// instead of the full 1024-line register; at the old 512-gate windows
+/// the support covered most of the device and restriction bought ~1×.
+const STREAM_WINDOW: usize = 64;
+/// Windows of the stream prefix re-verified with the pre-optimization
+/// full-register serial path to measure `verified_speedup` in the same
+/// run (the whole million-gate stream at baseline speed would take ~15
+/// minutes for a number the prefix already gives).
+const BASELINE_WINDOWS: usize = 128;
 /// The fixed QMDD node budget every streamed window must verify within.
 const STREAM_NODE_BUDGET: usize = 1 << 18;
 /// CNOTs in the strided oracle routing workload.
@@ -546,9 +555,12 @@ fn grid_stream(n: usize, w: usize, gates: usize) -> impl Iterator<Item = Gate> {
 /// `BENCH_scale.json`: the device-axis scaling story. Sparse oracle vs
 /// dense table build time/memory from 128 to 4096 qubits (dense measured
 /// to 1024, projected beyond), and a million-gate streaming compile on
-/// the 1024-qubit grid with windowed QMDD verification under a fixed
-/// node budget. Panics unless the sparse figures beat dense at >= 1024
-/// qubits and the streamed verdict is non-Unverified.
+/// the 1024-qubit grid with support-restricted windowed QMDD
+/// verification under a fixed node budget, plus a same-run full-register
+/// serial baseline prefix for the `verified_speedup` ratio. Panics
+/// unless the sparse figures beat dense at >= 1024 qubits, the streamed
+/// verdict is non-Unverified, and the verified throughput is >= 10x the
+/// baseline path.
 fn scale_bench(scale_out: &str) {
     eprintln!("bench perf: oracle-vs-dense scaling sweep (128..4096 qubits)...");
     let points: Vec<Value> = scale_devices().iter().map(scale_point).collect();
@@ -626,6 +638,42 @@ fn scale_bench(scale_out: &str) {
         summary.peak_resident_gates,
         stream_gates
     );
+
+    // Differential baseline, same run: the first BASELINE_WINDOWS
+    // windows of the identical stream re-verified with the
+    // pre-optimization full-register serial miter. The generator is
+    // uniform window to window, so prefix throughput is representative,
+    // and the restricted run above having the same window contents
+    // makes the ratio a true like-for-like verified-throughput speedup.
+    let baseline_gates = (BASELINE_WINDOWS * STREAM_WINDOW).min(stream_gates);
+    eprintln!(
+        "bench perf: re-verifying a {baseline_gates}-gate prefix with the \
+         full-register serial baseline..."
+    );
+    let t = Instant::now();
+    let baseline = compiler
+        .with_stream_verify(qsyn_core::StreamVerifyConfig::full_register_serial())
+        .compile_stream(n, STREAM_WINDOW, grid_stream(n, 32, baseline_gates), |_| {})
+        .expect("baseline streaming compile fits its budget");
+    let baseline_s = t.elapsed().as_secs_f64();
+    assert!(
+        !baseline.verdict.is_unverified(),
+        "the baseline path must also verify every window: {:?}",
+        baseline.verdict
+    );
+    let gates_per_second = summary.gates_in as f64 / stream_s;
+    let baseline_gates_per_second = baseline.gates_in as f64 / baseline_s;
+    let verified_speedup = gates_per_second / baseline_gates_per_second;
+    eprintln!(
+        "bench perf: verified throughput {gates_per_second:.0} gates/s vs \
+         baseline {baseline_gates_per_second:.0} gates/s ({verified_speedup:.1}x)"
+    );
+    assert!(
+        verified_speedup >= 10.0,
+        "support-restricted windowed verification must deliver >= 10x the \
+         full-register serial verified throughput (got {verified_speedup:.2}x)"
+    );
+
     let streaming = obj(vec![
         ("device", Value::Str("grid32x32".to_string())),
         ("qubits", Value::Num(n as f64)),
@@ -635,10 +683,23 @@ fn scale_bench(scale_out: &str) {
         ("windows", Value::Num(summary.windows as f64)),
         ("node_budget", Value::Num(STREAM_NODE_BUDGET as f64)),
         ("seconds", Value::Num(stream_s)),
+        ("gates_per_second", Value::Num(gates_per_second)),
         (
-            "gates_per_second",
-            Value::Num(summary.gates_in as f64 / stream_s),
+            "baseline_gates_per_second",
+            Value::Num(baseline_gates_per_second),
         ),
+        ("baseline_gates", Value::Num(baseline.gates_in as f64)),
+        ("verified_speedup", Value::Num(verified_speedup)),
+        (
+            "verify_seconds_total",
+            Value::Num(summary.verify_seconds_total),
+        ),
+        ("verify_p95", Value::Num(summary.verify_p95_seconds)),
+        (
+            "max_window_support",
+            Value::Num(summary.max_window_support as f64),
+        ),
+        ("verify_jobs", Value::Num(summary.verify_jobs as f64)),
         (
             "peak_resident_gates",
             Value::Num(summary.peak_resident_gates as f64),

@@ -24,9 +24,12 @@ use crate::route::{route_bounded_uncached, route_bounded_via, RoutingObjective};
 use crate::strategy::{RouteRequest, RouteStrategyKind};
 use qsyn_arch::{CostModel, Device, TransmonCost};
 use qsyn_circuit::{Circuit, CircuitStats};
-use qsyn_qmdd::{try_equivalent, try_equivalent_miter, EquivBudget, EquivBudgetError};
+use qsyn_qmdd::{
+    miter_support, try_equivalent, try_equivalent_miter, try_equivalent_miter_batched,
+    try_equivalent_miter_on_batched, EquivBudget, EquivBudgetError, DEFAULT_MITER_BATCH,
+};
 use qsyn_trace::{CompileMetrics, Pass, PassEvent, Span, StageSnapshot, TraceSink, Verdict};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Which formal equivalence check to run on the compiled output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +135,7 @@ pub struct Compiler {
     disk: Option<Arc<crate::persist::DiskCache>>,
     trace: Option<Arc<dyn TraceSink>>,
     job: Option<u64>,
+    stream_verify: StreamVerifyConfig,
     #[cfg(feature = "fault-injection")]
     inject: Option<crate::budget::FaultSpec>,
 }
@@ -171,9 +175,31 @@ impl Compiler {
             disk: None,
             trace: None,
             job: None,
+            stream_verify: StreamVerifyConfig::default(),
             #[cfg(feature = "fault-injection")]
             inject: None,
         }
+    }
+
+    /// Configures how [`Compiler::compile_stream`] verifies completed
+    /// windows — worker count, support restriction, and miter batching;
+    /// see [`StreamVerifyConfig`]. The default is serial,
+    /// support-restricted, batched verification.
+    pub fn with_stream_verify(mut self, config: StreamVerifyConfig) -> Self {
+        self.stream_verify = config;
+        self
+    }
+
+    /// Shorthand for [`Compiler::with_stream_verify`] changing only the
+    /// worker count (the optimization levers keep their defaults).
+    pub fn with_stream_verify_jobs(mut self, jobs: usize) -> Self {
+        self.stream_verify.jobs = jobs;
+        self
+    }
+
+    /// The active streaming-verification configuration.
+    pub fn stream_verify(&self) -> StreamVerifyConfig {
+        self.stream_verify
     }
 
     /// Bounds this compiler's resource usage (wall clock, QMDD nodes,
@@ -667,18 +693,33 @@ impl Compiler {
     /// Verification is windowed: each window's output is checked against
     /// its own specification with the interleaved miter under the
     /// compiler's [`CompileBudget`] node budget (window equivalence
-    /// composes to whole-stream equivalence). Under
-    /// [`VerifyMode::Degrade`] an exhausted window is counted in
-    /// [`StreamSummary::unverified_windows`] instead of aborting; under
-    /// [`VerifyMode::Strict`] it is a hard
-    /// [`CompileError::BudgetExceeded`]. The per-window SWAP cap is
-    /// [`CompileBudget::max_route_swaps`].
+    /// composes to whole-stream equivalence). By default the miter is
+    /// *support-restricted* — built on a compacted register holding only
+    /// the qubits the window actually touches, which on sparse windows of
+    /// a wide device shrinks the QMDD walks by an order of magnitude —
+    /// and applies gates in small fused blocks; both levers are proven
+    /// verdict-identical to the full-register serial miter and are
+    /// configurable through [`Compiler::with_stream_verify`] (the
+    /// [`StreamVerifyConfig::full_register_serial`] configuration keeps
+    /// the original path callable for differential runs). With
+    /// `jobs > 1`, completed windows are verified as jobs on a
+    /// [`crate::pool::WorkerPool`], pipelined behind the
+    /// decompose → route → optimize of subsequent windows; at most
+    /// `2 × jobs` windows are in flight, so pipelining cannot grow memory
+    /// with stream length. Under [`VerifyMode::Degrade`] an exhausted
+    /// window is counted in [`StreamSummary::unverified_windows`] instead
+    /// of aborting; under [`VerifyMode::Strict`] it is a hard
+    /// [`CompileError::BudgetExceeded`] — and because Strict must abort
+    /// *before* the offending window is emitted, Strict verification
+    /// always runs inline regardless of `jobs`. The per-window SWAP cap
+    /// is [`CompileBudget::max_route_swaps`].
     ///
     /// When a trace sink is configured, one aggregate route event is
     /// emitted at the end of the stream carrying the streaming counters
     /// (`windows`, `window_gates_cap`, `max_window_swaps`,
     /// `oracle_hits`/`oracle_misses`, `verified_windows`,
-    /// `unverified_windows`, `peak_resident_gates`) that
+    /// `unverified_windows`, `peak_resident_gates`,
+    /// `max_window_support`, `verify_seconds_total`, `verify_jobs`) that
     /// `qsyn check-trace` validates.
     ///
     /// # Errors
@@ -714,6 +755,7 @@ impl Compiler {
         };
         let baseline = oracle.as_ref().map(|o| (o.hit_count(), o.miss_count()));
         let verify = !matches!(self.effective_verification(), Verification::None);
+        let verifier = verify.then(|| self.stream_verifier());
 
         let mut acc = StreamSummary {
             windows: 0,
@@ -725,10 +767,14 @@ impl Compiler {
             verified_windows: 0,
             unverified_windows: 0,
             peak_resident_gates: 0,
+            max_window_support: 0,
             oracle_hits: 0,
             oracle_misses: 0,
             verdict: Verdict::Skipped,
             total_seconds: 0.0,
+            verify_seconds_total: 0.0,
+            verify_p95_seconds: 0.0,
+            verify_jobs: 0,
         };
         let mut buf = Circuit::new(self.device.n_qubits());
         for g in gates {
@@ -736,13 +782,30 @@ impl Compiler {
             buf.push(g);
             if buf.gates().len() >= window {
                 self.check_deadline(started, Pass::Route)?;
-                self.stream_flush(&buf, resolved, lookup.as_ref(), verify, &mut acc, &mut emit)?;
+                self.stream_flush(
+                    &buf,
+                    resolved,
+                    lookup.as_ref(),
+                    verifier.as_ref(),
+                    &mut acc,
+                    &mut emit,
+                )?;
                 buf = Circuit::new(self.device.n_qubits());
             }
         }
         if !buf.gates().is_empty() {
             self.check_deadline(started, Pass::Route)?;
-            self.stream_flush(&buf, resolved, lookup.as_ref(), verify, &mut acc, &mut emit)?;
+            self.stream_flush(
+                &buf,
+                resolved,
+                lookup.as_ref(),
+                verifier.as_ref(),
+                &mut acc,
+                &mut emit,
+            )?;
+        }
+        if let Some(v) = &verifier {
+            v.finish(&mut acc)?;
         }
 
         if let (Some(o), Some((h0, m0))) = (&oracle, baseline) {
@@ -787,12 +850,52 @@ impl Compiler {
                 s.counter(sc::VERIFIED_WINDOWS, acc.verified_windows as f64);
                 s.counter(sc::UNVERIFIED_WINDOWS, acc.unverified_windows as f64);
                 s.counter(sc::PEAK_RESIDENT_GATES, acc.peak_resident_gates as f64);
+                s.counter(sc::MAX_WINDOW_SUPPORT, acc.max_window_support as f64);
+                s.counter(sc::VERIFY_SECONDS_TOTAL, acc.verify_seconds_total);
+                s.counter(sc::VERIFY_JOBS, acc.verify_jobs as f64);
             });
             e.job = self.job;
             sink.record(&e);
             sink.flush();
         }
         Ok(acc)
+    }
+
+    /// Builds the per-stream verification state for `compile_stream`:
+    /// the resolved [`StreamVerifyConfig`], the equivalence budget, the
+    /// local latency histogram, and — for parallel runs — the worker
+    /// pool plus the shared accumulator its jobs write into.
+    ///
+    /// Parallel verification requires [`VerifyMode::Degrade`]: Strict
+    /// mode must abort before the failing window is emitted, which only
+    /// an inline check can guarantee, so Strict (or `jobs <= 1`) runs
+    /// serial regardless of the configured job count.
+    fn stream_verifier(&self) -> StreamVerifier {
+        let cfg = self.stream_verify.normalized();
+        // Jump straight to the ladder's forced-GC rung: under a node
+        // budget the default watermark (far above any sane window
+        // budget) would let the arena latch the budget before a single
+        // collection ran, even when the live set is tiny.
+        let equiv_budget = EquivBudget {
+            gc_threshold: self.budget.qmdd_node_budget.map(|n| (n / 2).max(2)),
+            node_budget: self.budget.qmdd_node_budget,
+        };
+        let par = (cfg.jobs > 1 && self.budget.verify_mode == VerifyMode::Degrade).then(|| {
+            StreamVerifyPool {
+                pool: crate::pool::WorkerPool::new(cfg.jobs),
+                shared: Arc::new(StreamVerifyShared {
+                    state: Mutex::new(StreamVerifyState::default()),
+                    done: Condvar::new(),
+                }),
+                cap: cfg.in_flight_cap(),
+            }
+        });
+        StreamVerifier {
+            cfg,
+            equiv_budget,
+            hist: Arc::new(qsyn_trace::metrics::Histogram::default()),
+            par,
+        }
     }
 
     /// Runs one streaming window through decompose → route → optimize →
@@ -802,7 +905,7 @@ impl Compiler {
         buf: &Circuit,
         resolved: RouteStrategyKind,
         lookup: Option<&crate::cache::RoutingLookup>,
-        verify: bool,
+        verifier: Option<&StreamVerifier>,
         acc: &mut StreamSummary,
         emit: &mut dyn FnMut(&qsyn_gate::Gate),
     ) -> Result<(), CompileError> {
@@ -846,29 +949,61 @@ impl Compiler {
             .max(buf.gates().len())
             .max(decomposed.gates().len())
             .max(optimized.gates().len());
-        if verify {
-            // Jump straight to the ladder's forced-GC rung: under a node
-            // budget the default watermark (far above any sane window
-            // budget) would let the arena latch the budget before a single
-            // collection ran, even when the live set is tiny.
-            let budget = EquivBudget {
-                gc_threshold: self.budget.qmdd_node_budget.map(|n| (n / 2).max(2)),
-                node_budget: self.budget.qmdd_node_budget,
-            };
-            match try_equivalent_miter(buf, &optimized, budget) {
-                Ok(report) if report.equivalent => acc.verified_windows += 1,
-                Ok(_) => return Err(CompileError::VerificationFailed),
-                Err(e) => match self.budget.verify_mode {
-                    VerifyMode::Strict => {
-                        return Err(CompileError::BudgetExceeded {
-                            pass: Pass::Verify,
-                            resource: BudgetResource::QmddNodes,
-                            limit: e.limit as u64,
-                            used: e.used as u64,
-                        })
+        if let Some(v) = verifier {
+            if let Some(par) = &v.par {
+                // Bounded in-flight window queue: block until a slot frees
+                // up, so at most `cap` (spec, output) window clones are
+                // alive awaiting verification no matter how long the
+                // stream runs.
+                {
+                    let mut st = par.shared.state.lock().expect("stream verify poisoned");
+                    while st.in_flight >= par.cap && !st.failed {
+                        st = par.shared.done.wait(st).expect("stream verify poisoned");
                     }
-                    VerifyMode::Degrade => acc.unverified_windows += 1,
-                },
+                    if st.failed {
+                        return Err(CompileError::VerificationFailed);
+                    }
+                    st.in_flight += 1;
+                }
+                let spec = buf.clone();
+                let out = optimized.clone();
+                let shared = Arc::clone(&par.shared);
+                let hist = Arc::clone(&v.hist);
+                let (budget, cfg) = (v.equiv_budget, v.cfg);
+                par.pool.submit(move || {
+                    let _slot = StreamSlotGuard(Arc::clone(&shared));
+                    let (res, support, seconds) = verify_one_window(&spec, &out, budget, cfg);
+                    hist.record_seconds(seconds);
+                    let mut st = shared.state.lock().expect("stream verify poisoned");
+                    st.seconds_total += seconds;
+                    st.max_support = st.max_support.max(support);
+                    match res {
+                        Ok(true) => st.verified += 1,
+                        Ok(false) => st.failed = true,
+                        Err(_) => st.unverified += 1,
+                    }
+                });
+            } else {
+                let (res, support, seconds) =
+                    verify_one_window(buf, &optimized, v.equiv_budget, v.cfg);
+                v.hist.record_seconds(seconds);
+                acc.verify_seconds_total += seconds;
+                acc.max_window_support = acc.max_window_support.max(support);
+                match res {
+                    Ok(true) => acc.verified_windows += 1,
+                    Ok(false) => return Err(CompileError::VerificationFailed),
+                    Err(e) => match self.budget.verify_mode {
+                        VerifyMode::Strict => {
+                            return Err(CompileError::BudgetExceeded {
+                                pass: Pass::Verify,
+                                resource: BudgetResource::QmddNodes,
+                                limit: e.limit as u64,
+                                used: e.used as u64,
+                            })
+                        }
+                        VerifyMode::Degrade => acc.unverified_windows += 1,
+                    },
+                }
             }
         }
         for g in optimized.gates() {
@@ -1202,6 +1337,12 @@ pub struct StreamSummary {
     /// The largest number of gates resident at once in any pipeline stage
     /// — the streaming memory bound, independent of stream length.
     pub peak_resident_gates: usize,
+    /// The widest miter support any window needed: how many device lines
+    /// its spec and routed output actually touched (restoration SWAPs
+    /// included). Support-restricted verification builds each window's
+    /// miter on this many qubits instead of the full register; zero when
+    /// verification is disabled.
+    pub max_window_support: usize,
     /// Sparse-oracle memoized-answer hits during routing (zero on dense
     /// small-device compiles).
     pub oracle_hits: u64,
@@ -1213,6 +1354,223 @@ pub struct StreamSummary {
     pub verdict: Verdict,
     /// Wall-clock seconds for the whole stream.
     pub total_seconds: f64,
+    /// CPU seconds spent inside window miter checks, summed across all
+    /// verify workers (can exceed wall clock when `verify_jobs > 1`).
+    pub verify_seconds_total: f64,
+    /// 95th-percentile per-window verify latency in seconds (bucket upper
+    /// bound of the run's local histogram); zero when no window was
+    /// verified.
+    pub verify_p95_seconds: f64,
+    /// Verify workers actually used: the configured job count when the
+    /// pool ran, `1` for inline (serial or Strict-mode) verification,
+    /// `0` when verification was disabled.
+    pub verify_jobs: usize,
+}
+
+/// Tuning knobs for windowed stream verification — see
+/// [`Compiler::with_stream_verify`] and the `compile_stream` docs.
+///
+/// Every combination produces bit-identical verdicts and output; the
+/// knobs trade only time and memory. The default is the fast safe
+/// configuration: serial, support-restricted, batch
+/// [`DEFAULT_MITER_BATCH`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamVerifyConfig {
+    /// Worker threads verifying completed windows (`<= 1` means inline on
+    /// the compile thread). Parallel verification engages only under
+    /// [`VerifyMode::Degrade`]; Strict mode always verifies inline so it
+    /// can abort before a failing window is emitted.
+    pub jobs: usize,
+    /// Build each window's miter on a compacted register of just the
+    /// window's touched qubits instead of the full device register.
+    pub restricted: bool,
+    /// Fuse up to this many consecutive same-circuit gates into one block
+    /// before multiplying into the miter accumulator (`0` and `1` both
+    /// mean unbatched).
+    pub batch: usize,
+}
+
+impl Default for StreamVerifyConfig {
+    fn default() -> Self {
+        StreamVerifyConfig {
+            jobs: 1,
+            restricted: true,
+            batch: DEFAULT_MITER_BATCH,
+        }
+    }
+}
+
+impl StreamVerifyConfig {
+    /// The pre-optimization configuration — full-register, unbatched,
+    /// inline — kept callable as the differential baseline: any run under
+    /// any other configuration must produce byte-identical output and
+    /// identical verdicts to this one.
+    pub fn full_register_serial() -> Self {
+        StreamVerifyConfig {
+            jobs: 1,
+            restricted: false,
+            batch: 1,
+        }
+    }
+
+    /// Clamps degenerate values (`jobs`/`batch` of zero) to 1.
+    fn normalized(self) -> Self {
+        StreamVerifyConfig {
+            jobs: self.jobs.max(1),
+            restricted: self.restricted,
+            batch: self.batch.max(1),
+        }
+    }
+
+    /// Bound on windows admitted to the verify pipeline but not yet
+    /// verified. Each in-flight window holds a clone of its spec and
+    /// routed output, so the cap — two windows per worker, enough to keep
+    /// every worker fed while the coordinator routes ahead — is what
+    /// keeps streaming memory independent of stream length.
+    fn in_flight_cap(self) -> usize {
+        2 * self.jobs.max(1)
+    }
+}
+
+/// Mutable state shared between the streaming coordinator and its
+/// pool-parallel verify jobs; every field is guarded by
+/// [`StreamVerifyShared::state`].
+#[derive(Default)]
+struct StreamVerifyState {
+    /// Windows submitted to the pool and not yet finished.
+    in_flight: usize,
+    /// Windows whose miter check completed and passed.
+    verified: usize,
+    /// Windows that exhausted the node budget (Degrade mode).
+    unverified: usize,
+    /// A miter check rejected, or a verify job panicked: the stream must
+    /// end in [`CompileError::VerificationFailed`].
+    failed: bool,
+    /// Sum of per-window verify seconds across workers.
+    seconds_total: f64,
+    /// Widest per-window miter support seen.
+    max_support: usize,
+}
+
+struct StreamVerifyShared {
+    state: Mutex<StreamVerifyState>,
+    /// Signaled whenever a job releases its in-flight slot (the
+    /// coordinator waits here when the in-flight cap is reached).
+    done: Condvar,
+}
+
+/// Releases one in-flight slot when a verify job ends — **however** it
+/// ends. Constructed first thing inside the job so a panic anywhere in
+/// the miter check still decrements `in_flight` (otherwise the
+/// coordinator would deadlock at the cap) and, because a panicked job
+/// produced no verdict, fails the stream rather than silently passing
+/// an unchecked window.
+struct StreamSlotGuard(Arc<StreamVerifyShared>);
+
+impl Drop for StreamSlotGuard {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().expect("stream verify poisoned");
+        st.in_flight -= 1;
+        if std::thread::panicking() {
+            st.failed = true;
+        }
+        drop(st);
+        self.0.done.notify_all();
+    }
+}
+
+/// The worker-pool half of a [`StreamVerifier`], present only for
+/// parallel (Degrade-mode, `jobs > 1`) runs.
+struct StreamVerifyPool {
+    pool: crate::pool::WorkerPool,
+    shared: Arc<StreamVerifyShared>,
+    /// In-flight window cap ([`StreamVerifyConfig::in_flight_cap`]).
+    cap: usize,
+}
+
+/// Per-stream verification state built by `Compiler::stream_verifier`.
+struct StreamVerifier {
+    cfg: StreamVerifyConfig,
+    equiv_budget: EquivBudget,
+    /// Local per-window latency histogram (µs buckets) feeding
+    /// [`StreamSummary::verify_p95_seconds`]; kept separate from the
+    /// process-wide `stream.verify_us` metric so concurrent streams do
+    /// not pollute each other's p95.
+    hist: Arc<qsyn_trace::metrics::Histogram>,
+    par: Option<StreamVerifyPool>,
+}
+
+impl StreamVerifier {
+    /// Drains the pool (if any), folds the workers' shared counters into
+    /// the summary, and computes the p95. Called once after the last
+    /// window is flushed.
+    fn finish(&self, acc: &mut StreamSummary) -> Result<(), CompileError> {
+        if let Some(par) = &self.par {
+            par.pool.drain();
+            let st = par.shared.state.lock().expect("stream verify poisoned");
+            if st.failed {
+                return Err(CompileError::VerificationFailed);
+            }
+            acc.verified_windows += st.verified;
+            acc.unverified_windows += st.unverified;
+            acc.verify_seconds_total += st.seconds_total;
+            acc.max_window_support = acc.max_window_support.max(st.max_support);
+        }
+        if let Some(p95_us) = self.hist.snapshot().quantile(0.95) {
+            acc.verify_p95_seconds = p95_us as f64 / 1e6;
+        }
+        acc.verify_jobs = if self.par.is_some() { self.cfg.jobs } else { 1 };
+        Ok(())
+    }
+}
+
+/// Runs one window's miter check under the configured levers and returns
+/// the verdict (`Ok(equivalent)` or the budget error), the window's
+/// support size, and the seconds spent. Also feeds the process-wide
+/// `stream.verify_us` histogram and the
+/// `stream.windows_verified`/`stream.windows_unverified` counters.
+fn verify_one_window(
+    spec: &Circuit,
+    out: &Circuit,
+    budget: EquivBudget,
+    cfg: StreamVerifyConfig,
+) -> (Result<bool, EquivBudgetError>, usize, f64) {
+    let started = std::time::Instant::now();
+    let support = miter_support(spec, out);
+    let support_len = support.len();
+    let res = if cfg.restricted {
+        try_equivalent_miter_on_batched(&support, spec, out, budget, cfg.batch)
+    } else {
+        try_equivalent_miter_batched(spec, out, budget, cfg.batch)
+    }
+    .map(|report| report.equivalent);
+    let seconds = started.elapsed().as_secs_f64();
+    note_window_verify(seconds, &res);
+    (res, support_len, seconds)
+}
+
+/// Process-wide streaming-verify metrics: one latency sample per window
+/// plus an outcome counter (`verified` + `unverified` always equals the
+/// histogram count in steady state — a rejected window aborts the stream
+/// and is counted by neither). Handles are cached like
+/// [`note_pass_metrics`]'s.
+fn note_window_verify(seconds: f64, res: &Result<bool, EquivBudgetError>) {
+    use qsyn_trace::metrics::{global, Counter, Histogram};
+    use std::sync::OnceLock;
+    static HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+    static VERIFIED: OnceLock<Arc<Counter>> = OnceLock::new();
+    static UNVERIFIED: OnceLock<Arc<Counter>> = OnceLock::new();
+    HIST.get_or_init(|| global().histogram("stream.verify_us"))
+        .record_seconds(seconds);
+    match res {
+        Ok(true) => VERIFIED
+            .get_or_init(|| global().counter("stream.windows_verified"))
+            .inc(),
+        Ok(false) => {}
+        Err(_) => UNVERIFIED
+            .get_or_init(|| global().counter("stream.windows_unverified"))
+            .inc(),
+    }
 }
 
 /// Everything the pipeline produced for one input circuit.
@@ -1981,6 +2339,128 @@ mod tests {
         );
         assert_eq!(e.counter("unverified_windows"), Some(0.0));
         assert!(e.counter("peak_resident_gates").unwrap() >= 1.0);
+        assert_eq!(
+            e.counter("max_window_support"),
+            Some(summary.max_window_support as f64)
+        );
+        assert_eq!(
+            e.counter("verify_seconds_total"),
+            Some(summary.verify_seconds_total)
+        );
+        assert_eq!(e.counter("verify_jobs"), Some(1.0));
+        assert!(
+            qsyn_trace::streaming::validate_streaming_route_event(e)
+                .unwrap()
+                .is_some(),
+            "the emitted event must satisfy its own validator"
+        );
+    }
+
+    /// A deterministic mixed H/CX/T stream for the verify-config tests.
+    fn verify_test_stream(n: usize, gates: usize) -> Vec<Gate> {
+        (0..gates)
+            .map(|i| match i % 3 {
+                0 => Gate::h((i * 5 + 1) % n),
+                1 => Gate::cx((i * 7) % n, (i * 7 + 3) % n),
+                _ => Gate::t((i * 11 + 2) % n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_verify_configs_agree_bit_for_bit() {
+        // Every StreamVerifyConfig is an observational no-op: support
+        // restriction, batching, and pool parallelism must leave the
+        // emitted gates, the verdict, and the window accounting
+        // byte-identical to the full-register serial baseline.
+        let gates = verify_test_stream(12, 36);
+        let run = |cfg: StreamVerifyConfig| {
+            let mut out = Circuit::new(16);
+            let summary = Compiler::new(devices::ibmqx5())
+                .with_stream_verify(cfg)
+                .compile_stream(12, 6, gates.iter().cloned(), |g| out.push(g.clone()))
+                .unwrap();
+            (out.to_qasm().unwrap(), summary)
+        };
+        let (base_qasm, base) = run(StreamVerifyConfig::full_register_serial());
+        assert_eq!(base.verify_jobs, 1);
+        assert_eq!(
+            base.verdict,
+            Verdict::Verified {
+                method: "windowed-miter".into()
+            }
+        );
+        for cfg in [
+            StreamVerifyConfig::default(),
+            StreamVerifyConfig {
+                jobs: 4,
+                ..StreamVerifyConfig::default()
+            },
+            StreamVerifyConfig {
+                jobs: 3,
+                restricted: false,
+                batch: 1,
+            },
+        ] {
+            let (qasm, summary) = run(cfg);
+            assert_eq!(qasm, base_qasm, "{cfg:?} changed the output");
+            assert_eq!(summary.verdict, base.verdict, "{cfg:?}");
+            assert_eq!(summary.windows, base.windows, "{cfg:?}");
+            assert_eq!(summary.verified_windows, base.verified_windows, "{cfg:?}");
+            assert_eq!(summary.unverified_windows, 0, "{cfg:?}");
+            // Support is a property of the windows, not of the config.
+            assert_eq!(summary.max_window_support, base.max_window_support, "{cfg:?}");
+            assert_eq!(summary.verify_jobs, cfg.jobs.max(1), "{cfg:?}");
+        }
+        // The stream touches several-but-not-all device lines per window.
+        assert!(base.max_window_support >= 2);
+        assert!(base.max_window_support <= 12);
+        assert!(base.verify_seconds_total > 0.0);
+        assert!(base.verify_p95_seconds > 0.0);
+    }
+
+    #[test]
+    fn streaming_parallel_degrade_counts_unverified_windows() {
+        // Budget latching still degrades per window when verification
+        // runs on the pool: the workers' shared counters merge into the
+        // summary and the verdict stays Unverified.
+        let spec = toffoli_spec();
+        let degrade = Compiler::new(devices::ibmqx4())
+            .with_stream_verify_jobs(4)
+            .with_budget(CompileBudget::default().with_node_budget(2))
+            .compile_stream(3, 2, spec.gates().iter().cloned(), |_| {})
+            .unwrap();
+        assert!(degrade.unverified_windows > 0);
+        assert!(degrade.verdict.is_unverified(), "{:?}", degrade.verdict);
+        assert_eq!(degrade.verify_jobs, 4);
+    }
+
+    #[test]
+    fn streaming_strict_mode_verifies_inline_despite_jobs() {
+        // Strict mode must abort before the failing window is emitted,
+        // which only inline verification guarantees — so even with a
+        // worker pool configured the budget error surfaces exactly as in
+        // the serial path and the summary never materializes.
+        let spec = toffoli_spec();
+        let strict = Compiler::new(devices::ibmqx4())
+            .with_stream_verify_jobs(4)
+            .with_budget(
+                CompileBudget::default()
+                    .with_node_budget(2)
+                    .with_verify_mode(VerifyMode::Strict),
+            )
+            .compile_stream(3, 2, spec.gates().iter().cloned(), |_| {});
+        assert!(
+            matches!(
+                strict,
+                Err(CompileError::BudgetExceeded {
+                    pass: Pass::Verify,
+                    resource: BudgetResource::QmddNodes,
+                    ..
+                })
+            ),
+            "{strict:?}"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod library;
 pub mod optimize;
 pub mod persist;
 pub mod place;
+pub mod pool;
 pub mod remap;
 pub mod route;
 pub mod serve;
@@ -57,7 +58,9 @@ pub use cache::{
 };
 #[cfg(feature = "fault-injection")]
 pub use budget::{FaultKind, FaultSpec};
-pub use compiler::{CompileResult, Compiler, Optimization, StreamSummary, Verification};
+pub use compiler::{
+    CompileResult, Compiler, Optimization, StreamSummary, StreamVerifyConfig, Verification,
+};
 pub use error::CompileError;
 pub use decompose::{
     decompose_circuit, decompose_circuit_for, decompose_circuit_with, mct_decompose,

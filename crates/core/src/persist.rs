@@ -206,8 +206,9 @@ impl DiskCache {
     /// directory fits. Quarantined files and temp files are left alone
     /// (quarantines are evidence; temp files belong to in-flight writers).
     ///
-    /// The daemon runs this once at startup (`--cache-max-bytes` /
-    /// `--cache-max-age`); deletions are counted in the
+    /// The daemon runs this at startup and then periodically while
+    /// serving (`--cache-max-bytes` / `--cache-max-age`, on the
+    /// metrics-file cadence); deletions are counted in the
     /// `cache.disk.evicted_entries` / `cache.disk.evicted_bytes` metrics.
     ///
     /// # Errors

@@ -210,9 +210,39 @@ pub fn try_equivalent_miter(
     b: &Circuit,
     budget: EquivBudget,
 ) -> Result<EquivReport, EquivBudgetError> {
+    try_equivalent_miter_batched(a, b, budget, 1)
+}
+
+/// Default fused-block length for the batched miter. Pairs of gates fused
+/// into one block halve the full-width accumulator walks; longer blocks
+/// grow too dense (a block touching many scattered variables defeats the
+/// near-identity short-circuits in `mul`) and measure slower on wide
+/// supports, so the default stays at 2.
+pub const DEFAULT_MITER_BATCH: usize = 2;
+
+/// [`try_equivalent_miter`] with fused gate blocks: each scheduling step
+/// takes up to `batch` gates from one side, multiplies them into one small
+/// block diagram, and folds the block into the accumulator with a single
+/// product — cutting the full-width accumulator walks (and their
+/// unique-table/compute-cache round-trips) per gate by up to `batch`.
+///
+/// `a`-gates only ever multiply on the left and inverted `b`-gates only on
+/// the right, and left- and right-multiplication commute as operations, so
+/// *any* interleaving yields the same product `U_a * U_b^dagger`; batching
+/// merely coarsens the proportional schedule from per-gate to per-block
+/// (the intermediate diagram can now drift up to `batch` gates from the
+/// identity). The verdict is identical for every `batch`; `batch <= 1`
+/// *is* the unbatched miter, product for product.
+pub fn try_equivalent_miter_batched(
+    a: &Circuit,
+    b: &Circuit,
+    budget: EquivBudget,
+    batch: usize,
+) -> Result<EquivReport, EquivBudgetError> {
     let n = a.n_qubits().max(b.n_qubits());
     let mut pkg = Qmdd::new(n);
     apply_budget(&mut pkg, budget);
+    let batch = batch.max(1);
     let mut acc = pkg.identity();
     let (la, lb) = (a.len().max(1), b.len().max(1));
     let (mut i, mut j) = (0usize, 0usize);
@@ -220,22 +250,126 @@ pub fn try_equivalent_miter(
         if pkg.budget_exceeded() {
             break;
         }
-        // Advance whichever side is proportionally behind.
+        // Advance whichever side is proportionally behind (block-granular).
         let take_a = i < a.len() && (j >= b.len() || i * lb <= j * la);
+        // No `maybe_gc` may run while a block is live: a collection roots
+        // only `acc` (plus protected slots) and would invalidate the
+        // half-built block. Blocks are at most `batch` gates, so the
+        // un-collected intermediates stay bounded.
         if take_a {
-            let ge = pkg.gate(&a.gates()[i]);
-            acc = pkg.mul(ge, acc);
+            let end = (i + batch).min(a.len());
+            let mut block = pkg.gate(&a.gates()[i]);
             i += 1;
+            while i < end && !pkg.budget_exceeded() {
+                let ge = pkg.gate(&a.gates()[i]);
+                block = pkg.mul(ge, block);
+                i += 1;
+            }
+            acc = pkg.mul(block, acc);
         } else {
-            let inv = b.gates()[j].inverse();
-            let ge = pkg.gate(&inv);
-            acc = pkg.mul(acc, ge);
+            let end = (j + batch).min(b.len());
+            let mut block = pkg.gate(&b.gates()[j].inverse());
             j += 1;
+            while j < end && !pkg.budget_exceeded() {
+                let ge = pkg.gate(&b.gates()[j].inverse());
+                block = pkg.mul(block, ge);
+                j += 1;
+            }
+            acc = pkg.mul(acc, block);
         }
         acc = pkg.maybe_gc(acc);
     }
     let id = pkg.identity();
     budget_verdict(&pkg, acc == id)
+}
+
+/// The sorted set of qubits either circuit touches — the *support* of a
+/// miter check. Lines outside this set are exact identity on both sides
+/// by construction.
+pub fn miter_support(a: &Circuit, b: &Circuit) -> Vec<usize> {
+    let width = a.n_qubits().max(b.n_qubits());
+    let mut touched = vec![false; width];
+    for g in a.gates().iter().chain(b.gates()) {
+        for q in g.qubits() {
+            touched[q] = true;
+        }
+    }
+    (0..width).filter(|&q| touched[q]).collect()
+}
+
+/// [`try_equivalent_miter`] on a compacted register of just the `support`
+/// qubits, with gate products fused in [`DEFAULT_MITER_BATCH`]-long blocks.
+///
+/// Both circuits are relabeled onto a dense register of `support.len()`
+/// lines (support qubit `support[k]` becomes line `k`) and the miter runs
+/// there. Every line outside the support is the exact identity on both
+/// sides, and identity tensor factors carry no phase, so the restricted
+/// verdict equals the full-register verdict bit-for-bit — for equal
+/// circuits and for unequal ones alike. Use [`miter_support`] to compute
+/// the support set.
+///
+/// # Panics
+///
+/// Panics if `support` is not strictly ascending, or if a gate of either
+/// circuit touches a qubit outside `support` (the restriction would then
+/// be unsound, so this is a contract violation rather than a verdict).
+pub fn try_equivalent_miter_on(
+    support: &[usize],
+    spec: &Circuit,
+    out: &Circuit,
+    budget: EquivBudget,
+) -> Result<EquivReport, EquivBudgetError> {
+    try_equivalent_miter_on_batched(support, spec, out, budget, DEFAULT_MITER_BATCH)
+}
+
+/// [`try_equivalent_miter_on`] with an explicit fused-block length
+/// (`batch <= 1` disables batching).
+pub fn try_equivalent_miter_on_batched(
+    support: &[usize],
+    spec: &Circuit,
+    out: &Circuit,
+    budget: EquivBudget,
+    batch: usize,
+) -> Result<EquivReport, EquivBudgetError> {
+    assert!(
+        support.windows(2).all(|w| w[0] < w[1]),
+        "support must be strictly ascending"
+    );
+    if support.is_empty() {
+        // Both circuits are gate-free (any gate would touch a qubit
+        // outside the empty support): both sides are the identity, which
+        // is also the full-register verdict.
+        assert!(
+            spec.is_empty() && out.is_empty(),
+            "gate outside the declared (empty) support"
+        );
+        return Ok(EquivReport {
+            equivalent: true,
+            peak_nodes: 0,
+            unique_nodes: 0,
+            cache_lookups: 0,
+            cache_hits: 0,
+            cache_evictions: 0,
+            gc_runs: 0,
+            nodes_reclaimed: 0,
+        });
+    }
+    let width = support.last().expect("non-empty") + 1;
+    let mut pos = vec![usize::MAX; width];
+    for (k, &q) in support.iter().enumerate() {
+        pos[q] = k;
+    }
+    let remap = |q: usize| {
+        let p = pos.get(q).copied().unwrap_or(usize::MAX);
+        assert!(
+            p != usize::MAX,
+            "gate touches qubit {q} outside the declared support"
+        );
+        p
+    };
+    let spec_on = spec.relabeled(support.len(), remap);
+    let out_on = out.relabeled(support.len(), remap);
+    try_equivalent_miter_batched(&spec_on, &out_on, budget, batch)
 }
 
 /// Convenience: canonical-compare equivalence as a bare boolean.
@@ -611,5 +745,114 @@ mod tests {
     fn build_circuit_qmdd_exposes_structure() {
         let (pkg, e) = build_circuit_qmdd(&swap_native());
         assert!(pkg.node_count(e) >= 3);
+    }
+
+    #[test]
+    fn batched_miter_matches_unbatched_verdicts() {
+        let equal = (dense_clifford_t(5, 120, 7), dense_clifford_t(5, 120, 7));
+        let mut tweaked = dense_clifford_t(5, 120, 7);
+        tweaked.push(Gate::t(2));
+        let unequal = (dense_clifford_t(5, 120, 7), tweaked);
+        for (a, b) in [&equal, &unequal] {
+            let base = try_equivalent_miter(a, b, EquivBudget::default()).unwrap();
+            for batch in [1, 2, 8, 64] {
+                let fused =
+                    try_equivalent_miter_batched(a, b, EquivBudget::default(), batch).unwrap();
+                assert_eq!(base.equivalent, fused.equivalent, "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn miter_support_unions_both_circuits() {
+        let mut a = Circuit::new(16);
+        a.push(Gate::cx(2, 11));
+        let mut b = Circuit::new(16);
+        b.push(Gate::swap(5, 11));
+        assert_eq!(miter_support(&a, &b), vec![2, 5, 11]);
+        assert!(miter_support(&Circuit::new(16), &Circuit::new(16)).is_empty());
+    }
+
+    #[test]
+    fn restricted_miter_matches_full_on_scattered_support() {
+        // The same window on qubits {2, 5, 11} of a 16-wide register,
+        // checked full-register and support-restricted: identical verdicts
+        // on the equal pair and on a sabotaged pair, with a strictly
+        // narrower package doing the restricted work.
+        let mut spec = Circuit::new(16);
+        spec.push(Gate::h(2));
+        spec.push(Gate::cx(2, 11));
+        spec.push(Gate::t(5));
+        spec.push(Gate::cx(5, 11));
+        let out = spec.clone();
+        let support = miter_support(&spec, &out);
+        assert_eq!(support, vec![2, 5, 11]);
+        let full = try_equivalent_miter(&spec, &out, EquivBudget::default()).unwrap();
+        let restricted = try_equivalent_miter_on(&support, &spec, &out, EquivBudget::default())
+            .unwrap();
+        assert!(full.equivalent && restricted.equivalent);
+        assert!(restricted.peak_nodes <= full.peak_nodes);
+        let mut bad = out.clone();
+        bad.push(Gate::t(11));
+        let support_bad = miter_support(&spec, &bad);
+        let full_bad = try_equivalent_miter(&spec, &bad, EquivBudget::default()).unwrap();
+        let restricted_bad =
+            try_equivalent_miter_on(&support_bad, &spec, &bad, EquivBudget::default()).unwrap();
+        assert!(!full_bad.equivalent && !restricted_bad.equivalent);
+    }
+
+    #[test]
+    fn restoration_swap_windows_stay_equivalent_when_restricted() {
+        // A routed window: SWAPs move a logical line out and restore it,
+        // with the middle relabeled accordingly — exactly the shape
+        // `compile_stream` verifies. The support includes the SWAP-only
+        // lines even though the spec never touches them.
+        let mut spec = Circuit::new(8);
+        spec.push(Gate::h(1));
+        spec.push(Gate::cx(1, 6));
+        let mut out = Circuit::new(8);
+        out.push(Gate::swap(1, 3));
+        out.push(Gate::h(3));
+        out.push(Gate::cx(3, 6));
+        out.push(Gate::swap(1, 3));
+        let support = miter_support(&spec, &out);
+        assert_eq!(support, vec![1, 3, 6]);
+        let full = try_equivalent_miter(&spec, &out, EquivBudget::default()).unwrap();
+        let restricted =
+            try_equivalent_miter_on(&support, &spec, &out, EquivBudget::default()).unwrap();
+        assert_eq!(full.equivalent, restricted.equivalent);
+        assert!(restricted.equivalent);
+    }
+
+    #[test]
+    fn empty_support_identity_window_is_trivially_equivalent() {
+        let r = try_equivalent_miter_on(&[], &Circuit::new(32), &Circuit::new(32), EquivBudget::default())
+            .unwrap();
+        assert!(r.equivalent);
+        assert_eq!(r.peak_nodes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared support")]
+    fn restricted_miter_rejects_gates_outside_support() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::h(3));
+        let _ = try_equivalent_miter_on(&[0, 1], &c, &c.clone(), EquivBudget::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn restricted_miter_rejects_unsorted_support() {
+        let c = Circuit::new(4);
+        let _ = try_equivalent_miter_on(&[2, 1], &c, &c.clone(), EquivBudget::default());
+    }
+
+    #[test]
+    fn restricted_miter_honors_node_budgets() {
+        let c = dense_clifford_t(6, 200, 17);
+        let support = miter_support(&c, &c);
+        let err = try_equivalent_miter_on(&support, &c, &c.clone(), EquivBudget::with_node_budget(16))
+            .expect_err("16 nodes cannot host a dense 6-qubit check");
+        assert_eq!(err.limit, 16);
     }
 }

@@ -34,6 +34,16 @@ pub const VERIFIED_WINDOWS: &str = "verified_windows";
 pub const UNVERIFIED_WINDOWS: &str = "unverified_windows";
 /// High-water mark of gates resident in memory at once.
 pub const PEAK_RESIDENT_GATES: &str = "peak_resident_gates";
+/// The widest per-window miter support: how many device lines any single
+/// window's spec and routed output actually touched. Support-restricted
+/// verification builds each window's miter on that many qubits.
+pub const MAX_WINDOW_SUPPORT: &str = "max_window_support";
+/// CPU seconds spent in window miter checks, summed across verify
+/// workers (may exceed the event's wall-clock when workers > 1).
+pub const VERIFY_SECONDS_TOTAL: &str = "verify_seconds_total";
+/// Verify workers used: the pool size for parallel verification, 1 for
+/// inline verification, 0 when verification was disabled.
+pub const VERIFY_JOBS: &str = "verify_jobs";
 
 /// The streaming counters recovered from a validated route event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +60,13 @@ pub struct StreamingCounters {
     pub oracle_hits: f64,
     /// Oracle memo misses (0 when the dense table served the stream).
     pub oracle_misses: f64,
+    /// Widest per-window miter support (0 on traces predating support
+    /// restriction or with verification off).
+    pub max_window_support: f64,
+    /// Total verify CPU seconds across workers.
+    pub verify_seconds_total: f64,
+    /// Verify workers used (0 = verification off).
+    pub verify_jobs: f64,
 }
 
 /// Validates the streaming counters of a route event.
@@ -65,7 +82,10 @@ pub struct StreamingCounters {
 /// * oracle hit/miss counters, when present, are non-negative;
 /// * [`MAX_WINDOW_SWAPS`] does not exceed [`WINDOW_SWAP_CAP`] when a cap
 ///   was recorded — a completed stream reporting a blown per-window cap
-///   is corrupt.
+///   is corrupt;
+/// * [`MAX_WINDOW_SUPPORT`], [`VERIFY_SECONDS_TOTAL`], and
+///   [`VERIFY_JOBS`], when present, are non-negative, and a stream that
+///   verified at least one window reports `verify_jobs >= 1`.
 ///
 /// # Errors
 ///
@@ -111,6 +131,19 @@ pub fn validate_streaming_route_event(
             ));
         }
     }
+    for name in [MAX_WINDOW_SUPPORT, VERIFY_SECONDS_TOTAL, VERIFY_JOBS] {
+        if let Some(v) = e.counter(name) {
+            if v.is_nan() || v < 0.0 {
+                return Err(format!("`{name}` must be non-negative, got {v}"));
+            }
+        }
+    }
+    let verify_jobs = e.counter(VERIFY_JOBS).unwrap_or(0.0);
+    if verified + unverified > 0.0 && e.counter(VERIFY_JOBS).is_some() && verify_jobs < 1.0 {
+        return Err(format!(
+            "stream verified {verified} window(s) but reports `{VERIFY_JOBS}` = {verify_jobs}"
+        ));
+    }
     Ok(Some(StreamingCounters {
         windows,
         verified_windows: verified,
@@ -118,6 +151,9 @@ pub fn validate_streaming_route_event(
         max_window_swaps,
         oracle_hits: e.counter(ORACLE_HITS).unwrap_or(0.0),
         oracle_misses: e.counter(ORACLE_MISSES).unwrap_or(0.0),
+        max_window_support: e.counter(MAX_WINDOW_SUPPORT).unwrap_or(0.0),
+        verify_seconds_total: e.counter(VERIFY_SECONDS_TOTAL).unwrap_or(0.0),
+        verify_jobs,
     }))
 }
 
@@ -159,11 +195,45 @@ mod tests {
             (WINDOW_SWAP_CAP, 16.0),
             (ORACLE_HITS, 100.0),
             (ORACLE_MISSES, 12.0),
+            (MAX_WINDOW_SUPPORT, 9.0),
+            (VERIFY_SECONDS_TOTAL, 0.25),
+            (VERIFY_JOBS, 4.0),
         ]);
         let c = validate_streaming_route_event(&e).unwrap().unwrap();
         assert_eq!(c.windows, 4.0);
         assert_eq!(c.verified_windows, 3.0);
         assert_eq!(c.oracle_misses, 12.0);
+        assert_eq!(c.max_window_support, 9.0);
+        assert_eq!(c.verify_seconds_total, 0.25);
+        assert_eq!(c.verify_jobs, 4.0);
+    }
+
+    #[test]
+    fn verify_counters_are_validated() {
+        // Negative verify time is corrupt.
+        assert!(validate_streaming_route_event(&event(&[
+            (STREAMING, 1.0),
+            (WINDOWS, 2.0),
+            (VERIFY_SECONDS_TOTAL, -0.5),
+        ]))
+        .is_err());
+        // Verified windows with zero recorded workers is contradictory...
+        assert!(validate_streaming_route_event(&event(&[
+            (STREAMING, 1.0),
+            (WINDOWS, 2.0),
+            (VERIFIED_WINDOWS, 2.0),
+            (VERIFY_JOBS, 0.0),
+        ]))
+        .is_err());
+        // ...but an event omitting the counter entirely (pre-support-
+        // restriction traces) still validates.
+        assert!(validate_streaming_route_event(&event(&[
+            (STREAMING, 1.0),
+            (WINDOWS, 2.0),
+            (VERIFIED_WINDOWS, 2.0),
+        ]))
+        .unwrap()
+        .is_some());
     }
 
     #[test]

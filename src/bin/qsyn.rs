@@ -32,7 +32,7 @@ USAGE:
                [--route-strategy ctr|lookahead|lazy-synth|auto]
                [--deadline SECONDS] [--node-budget NODES] [--strict-verify]
                [--cache off|tables|mem] [--cache-stats] [--repeat N]
-               [--stream WINDOW]
+               [--stream WINDOW] [--stream-verify-jobs N]
       Map a circuit (.qasm/.qc/.real/.pla) to a device; emit OpenQASM 2.0.
       --report prints a stage-by-stage metrics table on stderr.
       --route-strategy selects the coupling-map router: `ctr` (default,
@@ -59,8 +59,13 @@ USAGE:
       --stream WINDOW compiles the input window by window (WINDOW input
       gates at a time) with a bounded resident circuit, writing QASM
       incrementally — each window is QMDD-verified against its input
-      (windowed miter), and the trace carries one aggregate route event
-      with streaming counters. Identity placement only.
+      (windowed miter, support-restricted to the window's touched
+      qubits), and the trace carries one aggregate route event with
+      streaming counters. Identity placement only. --stream-verify-jobs
+      N verifies completed windows on N pool workers pipelined behind
+      routing (default: available parallelism; 1 = inline; Strict mode
+      always verifies inline) — output and verdicts are identical at
+      any N.
 
   qsyn serve [--workers N] [--queue-cap N] [--node-ceiling NODES]
              [--deadline SECONDS] [--node-budget NODES] [--max-swaps N]
@@ -88,7 +93,8 @@ USAGE:
       queue-depth gauge, and latency histograms (docs/OBSERVABILITY.md);
       a client on the JSONL connection can instead poll a live snapshot
       with the control row {{\"cmd\":\"metrics\"}}. --cache-max-bytes /
-      --cache-max-age evict the oldest --cache-dir entries at startup
+      --cache-max-age evict the oldest --cache-dir entries at startup —
+      and then keep sweeping online about once a second while serving —
       until the tier fits the byte cap and nothing exceeds the age cap.
 
   qsyn report <file> [--prometheus]
@@ -305,7 +311,8 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             "node-budget",
             "cache",
             "repeat",
-            "stream"
+            "stream",
+            "stream-verify-jobs"
         ]
     );
     let [input] = pos.as_slice() else { usage() };
@@ -447,6 +454,19 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             eprintln!("error: --stream only supports identity placement");
             return ExitCode::from(2);
         }
+        let verify_jobs = match flag(&flags, "stream-verify-jobs") {
+            None => qsyn::core::pool::default_jobs(),
+            Some(spec) => match spec.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!(
+                        "error: bad --stream-verify-jobs `{spec}` (want a worker count >= 1)"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        compiler = compiler.with_stream_verify_jobs(verify_jobs);
         use std::io::Write as _;
         let raw: Box<dyn std::io::Write> = match flag(&flags, "out") {
             Some(path) => match std::fs::File::create(path) {
@@ -525,6 +545,10 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             eprintln!("{}", qsyn::core::cache::stats().render());
         }
         return ExitCode::SUCCESS;
+    }
+    if flag(&flags, "stream-verify-jobs").is_some() {
+        eprintln!("error: --stream-verify-jobs requires --stream");
+        return ExitCode::from(2);
     }
 
     // --repeat runs the whole compile N times in one process; sweep-style
@@ -729,6 +753,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     }
                 }
                 opts.disk = Some(std::sync::Arc::new(disk));
+                // The coordinator re-runs the sweep online, on the
+                // metrics-file cadence, so long-running daemons stay
+                // within the caps as new entries accumulate.
+                opts.cache_max_bytes = cache_max_bytes;
+                opts.cache_max_age = cache_max_age;
             }
             Err(e) => {
                 eprintln!("error: --cache-dir {dir}: {e}");

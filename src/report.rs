@@ -245,6 +245,23 @@ pub fn check_snapshot(snap: &MetricsSnapshot) -> Result<Vec<String>, Vec<String>
         );
     }
 
+    // Streaming-verify accounting (only when a stream ran): every
+    // window miter check records one `stream.verify_us` sample, and
+    // each non-rejecting check lands in exactly one of the outcome
+    // counters — the histogram can only exceed their sum by rejected
+    // windows, which abort the stream they occur in.
+    if let Some(h) = snap.histogram("stream.verify_us") {
+        let outcomes = snap.counter("stream.windows_verified").unwrap_or(0)
+            + snap.counter("stream.windows_unverified").unwrap_or(0);
+        check(
+            outcomes <= h.count,
+            format!(
+                "stream: verified + unverified windows {outcomes} <= verify samples {}",
+                h.count
+            ),
+        );
+    }
+
     // Serve accounting (only when the daemon counters are present).
     if let Some(requests) = snap.counter("serve.requests") {
         let answered = snap.counter("serve.responses_ok").unwrap_or(0)
@@ -335,6 +352,29 @@ mod tests {
         let mut torn = snap.clone();
         torn.histograms[0].1.count += 5; // count != bucket sum
         assert!(check_snapshot(&torn).is_err());
+    }
+
+    #[test]
+    fn stream_verify_accounting_is_checked() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("stream.verify_us");
+        for v in [120, 340, 560] {
+            h.record(v);
+        }
+        reg.counter("stream.windows_verified").add(2);
+        reg.counter("stream.windows_unverified").add(1);
+        let checks = check_snapshot(&reg.snapshot()).expect("balanced stream accounting passes");
+        assert!(checks.iter().any(|c| c.contains("verify samples")));
+
+        // More counted outcomes than recorded samples is impossible by
+        // construction: every outcome came from a timed check.
+        reg.counter("stream.windows_verified").add(5);
+        let violations =
+            check_snapshot(&reg.snapshot()).expect_err("overcounted outcomes fail");
+        assert!(
+            violations.iter().any(|v| v.contains("verify samples")),
+            "{violations:?}"
+        );
     }
 
     #[test]

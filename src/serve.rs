@@ -73,8 +73,17 @@ pub struct ServeOptions {
     /// snapshot periodically and once more after the drain (atomic
     /// temp-and-rename, so readers never see a torn snapshot).
     pub metrics_file: Option<PathBuf>,
-    /// Rewrite cadence for `metrics_file`.
+    /// Rewrite cadence for `metrics_file` — also the cadence of the
+    /// online disk-cache eviction sweep, which piggybacks this timer.
     pub metrics_interval: Duration,
+    /// Disk-cache size cap. When either cap is set (and a disk tier is
+    /// configured), the coordinator re-runs the eviction sweep every
+    /// `metrics_interval`, so a long-running daemon keeps the tier
+    /// within bounds as compiles accumulate — startup eviction alone
+    /// only trims the previous run's leftovers.
+    pub cache_max_bytes: Option<u64>,
+    /// Disk-cache age cap; see `cache_max_bytes`.
+    pub cache_max_age: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -89,6 +98,8 @@ impl Default for ServeOptions {
             node_ceiling: None,
             metrics_file: None,
             metrics_interval: Duration::from_secs(1),
+            cache_max_bytes: None,
+            cache_max_age: None,
         }
     }
 }
@@ -240,11 +251,20 @@ pub fn run(
         while let Ok(row) = resp_rx.try_recv() {
             write_row(&mut output, &mut summary, &row)?;
         }
-        if let Some(path) = &opts.metrics_file {
-            if last_metrics.elapsed() >= opts.metrics_interval {
+        if last_metrics.elapsed() >= opts.metrics_interval {
+            if let Some(path) = &opts.metrics_file {
                 write_metrics_file(path)?;
-                last_metrics = Instant::now();
             }
+            // Online eviction sweep, piggybacking the metrics cadence:
+            // deletions land in the `cache.disk.evicted_*` counters. A
+            // failed sweep costs capacity enforcement until the next
+            // tick, never the daemon.
+            if opts.cache_max_bytes.is_some() || opts.cache_max_age.is_some() {
+                if let Some(disk) = &ctx.disk {
+                    let _ = disk.evict(opts.cache_max_bytes, opts.cache_max_age);
+                }
+            }
+            last_metrics = Instant::now();
         }
         if SHUTDOWN.load(Ordering::SeqCst) {
             summary.terminated = true;
@@ -501,6 +521,32 @@ mod tests {
         assert!(snap.gauge("serve.queue_depth").is_some());
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn online_eviction_sweeps_the_disk_tier_while_serving() {
+        // A daemon with caps configured must not wait for a restart to
+        // enforce them: the coordinator re-runs the eviction sweep on
+        // the metrics cadence, so an over-cap entry planted after
+        // startup disappears during the session.
+        let dir = std::env::temp_dir().join(format!("qsyn-serve-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let disk = qsyn_core::DiskCache::open(&dir).expect("disk tier opens");
+        let planted = dir.join("00000000000000000000000000000000.qsc");
+        std::fs::write(&planted, b"stale entry").expect("plant entry");
+        let opts = ServeOptions {
+            disk: Some(Arc::new(disk)),
+            cache_max_bytes: Some(0),
+            metrics_interval: Duration::ZERO,
+            ..ServeOptions::default()
+        };
+        let (summary, _lines) = run_session(format!("{}\n", toffoli_line("ev")), opts);
+        assert_eq!(summary.ok, 1);
+        assert!(
+            !planted.exists(),
+            "online sweep should have evicted the planted entry"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

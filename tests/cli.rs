@@ -575,3 +575,86 @@ fn check_metrics_accepts_valid_snapshots_and_names_violations() {
     let rejected = qsyn(&["check-metrics", wrong.to_str().unwrap()]);
     assert!(!rejected.status.success());
 }
+
+#[test]
+fn stream_verify_jobs_do_not_change_output() {
+    // --stream-verify-jobs N is a pure throughput knob: serial and
+    // pool-parallel window verification must produce byte-identical QASM
+    // and the same windowed-miter verdict.
+    let mut qasm = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[10];\n");
+    for i in 0..48usize {
+        match i % 3 {
+            0 => qasm.push_str(&format!("h q[{}];\n", (i * 5 + 1) % 10)),
+            1 => qasm.push_str(&format!("cx q[{}],q[{}];\n", (i * 7) % 10, (i * 7 + 3) % 10)),
+            _ => qasm.push_str(&format!("t q[{}];\n", (i * 11 + 2) % 10)),
+        }
+    }
+    let input = tmp("streamv.qasm", &qasm);
+    let run = |jobs: &str, name: &str| {
+        let out_path = tmp(name, "");
+        let out = qsyn(&[
+            "compile",
+            input.to_str().unwrap(),
+            "--device",
+            "grid:4x4",
+            "--stream",
+            "6",
+            "--stream-verify-jobs",
+            jobs,
+            "--out",
+            out_path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let log = String::from_utf8_lossy(&out.stderr).into_owned();
+        (std::fs::read_to_string(&out_path).unwrap(), log)
+    };
+    let (serial_qasm, serial_log) = run("1", "streamv1.qasm");
+    let (par_qasm, par_log) = run("4", "streamv4.qasm");
+    assert_eq!(serial_qasm, par_qasm, "parallel verification changed the QASM");
+    let verdict_line = |log: &str| {
+        log.lines()
+            .find(|l| l.contains("verified") || l.contains("equivalence"))
+            .map(str::to_string)
+    };
+    assert_eq!(verdict_line(&serial_log), verdict_line(&par_log));
+    assert!(serial_log.contains("windowed-miter"), "{serial_log}");
+}
+
+#[test]
+fn stream_verify_jobs_flag_is_validated() {
+    let input = tmp("tof-svj.real", TOFFOLI_REAL);
+    let without_stream = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        "--stream-verify-jobs",
+        "2",
+    ]);
+    assert!(!without_stream.status.success());
+    assert!(
+        String::from_utf8_lossy(&without_stream.stderr).contains("requires --stream"),
+        "{}",
+        String::from_utf8_lossy(&without_stream.stderr)
+    );
+    let zero = qsyn(&[
+        "compile",
+        input.to_str().unwrap(),
+        "--device",
+        "ibmqx4",
+        "--stream",
+        "2",
+        "--stream-verify-jobs",
+        "0",
+    ]);
+    assert!(!zero.status.success());
+    assert!(
+        String::from_utf8_lossy(&zero.stderr).contains("worker count"),
+        "{}",
+        String::from_utf8_lossy(&zero.stderr)
+    );
+}
